@@ -1,0 +1,216 @@
+(* Benchmark harness.
+
+   Two parts, one executable:
+
+   1. A Bechamel suite with one [Test.make] per paper experiment
+      (tables I-IV and the eight Fig. 2 panels, at reduced scale) plus
+      micro-latency benches for every priority-queue operation and for the
+      synchronization/PRNG substrates. These give per-op costs on the host
+      machine.
+
+   2. The actual reproduction output: Tables I-IV at full paper scale
+      (2^20 operations) and the Fig. 2 throughput-vs-threads series on the
+      simulator's niagara2/x86 profiles (reduced op counts; run
+      `repro fig2` for the full-scale sweep). *)
+
+open Bechamel
+open Toolkit
+
+let ppf = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Part 1a: one Test.make per paper experiment (reduced scale)         *)
+
+let table_tests =
+  [
+    Test.make ~name:"table1" (Staged.stage (fun () -> Harness.Tables.table1 ~n:(1 lsl 12) ()));
+    Test.make ~name:"table2" (Staged.stage (fun () -> Harness.Tables.table2 ~n:(1 lsl 12) ()));
+    Test.make ~name:"table3" (Staged.stage (fun () -> Harness.Tables.table3 ~ops:(1 lsl 12) ~init_bits:[ 6; 8; 10 ] ()));
+    Test.make ~name:"table4" (Staged.stage (fun () -> Harness.Tables.table4 ~n:(1 lsl 12) ()));
+  ]
+
+let fig2_cell_test ~profile ~panel =
+  let name =
+    Printf.sprintf "fig2/%s/%s" profile.Sim.Profile.name
+      (Harness.Workload.panel_name panel)
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         Harness.Sim_exp.run_cell ~profile ~panel ~threads:4 ~ops_per_thread:96
+           ~init_size:256 Harness.Pq.On_sim.mound_lf))
+
+let fig2_tests =
+  List.concat_map
+    (fun profile ->
+      List.map
+        (fun panel -> fig2_cell_test ~profile ~panel)
+        Harness.Workload.[ Insert; Extract; Mixed; Extract_many ])
+    [ Sim.Profile.niagara2; Sim.Profile.x86 ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 1b: steady-state per-operation latency for every structure     *)
+
+let prepop = 1 lsl 14
+
+let steady_state_test (maker : Harness.Pq.maker) =
+  let q = maker.make ~capacity:(4 * prepop) in
+  let rng = Prng.create 424242L in
+  for _ = 1 to prepop do
+    q.insert (Prng.int rng Harness.Workload.key_range)
+  done;
+  Test.make
+    ~name:(Printf.sprintf "%s/insert+extract" q.name)
+    (Staged.stage (fun () ->
+         q.insert (Prng.int rng Harness.Workload.key_range);
+         ignore (q.extract_min ())))
+
+(* Insert-only growth benches run only on the unbounded structures: a
+   bechamel quota can push millions of inserts, which would overflow (or
+   force absurd preallocation in) the fixed-capacity array heaps. Those
+   are covered by the steady-state pair benches above. *)
+let insert_only_test (maker : Harness.Pq.maker) =
+  let q = maker.make ~capacity:0 in
+  let rng = Prng.create 434343L in
+  Test.make
+    ~name:(Printf.sprintf "%s/insert" q.name)
+    (Staged.stage (fun () -> q.insert (Prng.int rng Harness.Workload.key_range)))
+
+let extract_many_test (maker : Harness.Pq.maker) =
+  let q = maker.make ~capacity:(4 * prepop) in
+  let rng = Prng.create 454545L in
+  for _ = 1 to prepop do
+    q.insert (Prng.int rng Harness.Workload.key_range)
+  done;
+  Test.make
+    ~name:(Printf.sprintf "%s/extract_many+refill" q.name)
+    (Staged.stage (fun () ->
+         let batch = q.extract_many () in
+         List.iter q.insert batch))
+
+let structure_tests =
+  let makers = Harness.Pq.On_real.extended_set in
+  List.map steady_state_test makers
+  @ List.map insert_only_test
+      Harness.Pq.On_real.[ mound_lock; mound_lf; skiplist; skiplist_lock ]
+  @ List.map extract_many_test
+      [ Harness.Pq.On_real.mound_lf; Harness.Pq.On_real.mound_lock ]
+
+(* sequential ablation: mound vs binary heap, same workload *)
+let seq_tests =
+  let module S = Mound.Seq_int in
+  let module H = Baselines.Seq_heap_int in
+  let sq = S.create ~seed:5L () in
+  let hq = H.create () in
+  let rng = Prng.create 464646L in
+  for _ = 1 to prepop do
+    let v = Prng.int rng Harness.Workload.key_range in
+    S.insert sq v;
+    H.insert hq v
+  done;
+  [
+    Test.make ~name:"seq mound/insert+extract"
+      (Staged.stage (fun () ->
+           S.insert sq (Prng.int rng Harness.Workload.key_range);
+           ignore (S.extract_min sq)));
+    Test.make ~name:"seq binary heap/insert+extract"
+      (Staged.stage (fun () ->
+           H.insert hq (Prng.int rng Harness.Workload.key_range);
+           ignore (H.extract_min hq)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 1c: substrate micro-latency: CAS vs software DCAS/DCSS, PRNGs  *)
+
+let substrate_tests =
+  let module M = Mcas.Make (Runtime.Real.Atomic) in
+  let a = M.make 0 and b = M.make 0 in
+  let plain = Atomic.make 0 in
+  let x = Prng.create 474747L in
+  let sm = Prng.Splitmix64.create 1L in
+  [
+    Test.make ~name:"atomic/cas (hardware)"
+      (Staged.stage (fun () ->
+           ignore (Atomic.compare_and_set plain (Atomic.get plain) 1)));
+    Test.make ~name:"mcas/cas"
+      (Staged.stage (fun () -> ignore (M.cas a (M.get a) 1)));
+    Test.make ~name:"mcas/dcas"
+      (Staged.stage (fun () ->
+           ignore (M.dcas a (M.get a) 1 b (M.get b) 2)));
+    Test.make ~name:"mcas/dcss"
+      (Staged.stage (fun () -> ignore (M.dcss a (M.get a) b (M.get b) 3)));
+    Test.make ~name:"prng/xoshiro256** int"
+      (Staged.stage (fun () -> ignore (Prng.int x 1024)));
+    Test.make ~name:"prng/splitmix64 next"
+      (Staged.stage (fun () -> ignore (Prng.Splitmix64.next sm)));
+    Test.make ~name:"prng/stdlib Random.int"
+      (Staged.stage (fun () -> ignore (Random.int 1024)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver                                                     *)
+
+let run_bechamel tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"bench" tests) in
+  let results =
+    Analyze.merge ols instances
+      (List.map (fun i -> Analyze.all ols i raw) instances)
+  in
+  let clock_label = Measure.label (List.hd instances) in
+  match Hashtbl.find_opt results clock_label with
+  | None -> Format.fprintf ppf "no results?@."
+  | Some tbl ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            let ns =
+              match Analyze.OLS.estimates ols with
+              | Some (t :: _) -> t
+              | _ -> nan
+            in
+            (name, ns) :: acc)
+          tbl []
+        |> List.sort compare
+      in
+      Format.fprintf ppf "%-52s %14s@." "benchmark" "ns/op";
+      List.iter
+        (fun (name, ns) -> Format.fprintf ppf "%-52s %14.1f@." name ns)
+        rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Format.fprintf ppf "=== Bechamel micro-benchmarks (host machine) ===@.";
+  run_bechamel
+    (table_tests @ fig2_tests @ structure_tests @ seq_tests @ substrate_tests);
+
+  Format.fprintf ppf "@.=== Tables I-IV (full paper scale, sequential) ===@.";
+  Harness.Tables.(print_table1 ppf (table1 ()));
+  Format.fprintf ppf "@.";
+  Harness.Tables.(print_table2 ppf (table2 ()));
+  Format.fprintf ppf "@.";
+  Harness.Tables.(print_table3 ppf (table3 ()));
+  Format.fprintf ppf "@.";
+  Harness.Tables.(print_table4 ppf (table4 ()));
+
+  Format.fprintf ppf "@.=== Ablations and extensions (simulator) ===@.";
+  Harness.Ablation.(print_primitives ppf (primitive_costs ()));
+  Format.fprintf ppf "@.";
+  Harness.Ablation.(print_costs ppf (sync_costs ()));
+  Format.fprintf ppf "@.";
+  Harness.Ablation.(print_threshold ppf (threshold_sweep ()));
+  Format.fprintf ppf "@.";
+  Harness.Ablation.(print_kcss ppf (kcss_vs_dcss ()));
+  Format.fprintf ppf "@.";
+  Harness.Ablation.(print_approx ppf (approx_quality ()));
+
+  Format.fprintf ppf
+    "@.=== Fig. 2 (simulator, reduced op counts; `repro fig2` = full) ===@.";
+  Harness.Fig2.run_all ~scale:Harness.Fig2.quick_scale ppf ();
+  Format.pp_print_flush ppf ()

@@ -1,0 +1,343 @@
+(** Command-line runner that regenerates the paper's evaluation.
+
+    {v
+    repro table1|table2|table3|table4      # sequential structure tables
+    repro fig2 [--panel P] [--machine M] [--quick] [--extended]
+    repro real [--panel P] [--threads N]   # wall-clock run on real domains
+    repro all [--quick]                    # everything, in paper order
+    v} *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+(* ---------- tables ---------- *)
+
+let run_table which quick =
+  let n = if quick then 1 lsl 16 else 1 lsl 20 in
+  (match which with
+  | 1 -> Harness.Tables.(print_table1 ppf (table1 ~n ()))
+  | 2 -> Harness.Tables.(print_table2 ppf (table2 ~n ()))
+  | 3 -> Harness.Tables.(print_table3 ppf (table3 ~ops:n ()))
+  | 4 -> Harness.Tables.(print_table4 ppf (table4 ~n ()))
+  | _ -> invalid_arg "table");
+  Format.pp_print_flush ppf ()
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced problem sizes.")
+
+let table_cmd n =
+  let doc = Printf.sprintf "Reproduce the paper's Table %d." n in
+  Cmd.v
+    (Cmd.info (Printf.sprintf "table%d" n) ~doc)
+    Term.(const (run_table n) $ quick_flag)
+
+(* ---------- fig2 (simulator) ---------- *)
+
+let panel_conv =
+  let parse s =
+    match Harness.Workload.panel_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown panel %S" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Harness.Workload.panel_name p))
+
+let panel_arg =
+  Arg.(
+    value
+    & opt (some panel_conv) None
+    & info [ "panel" ] ~docv:"PANEL"
+        ~doc:"Panel: insert, extractmin, mixed or extractmany (default: all).")
+
+let machine_conv =
+  let parse s =
+    match Sim.Profile.by_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown machine %S (niagara2, x86 or uniform)" s))
+  in
+  Arg.conv (parse, fun ppf (p : Sim.Profile.t) -> Format.pp_print_string ppf p.name)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt (some machine_conv) None
+    & info [ "machine" ] ~docv:"MACHINE"
+        ~doc:"Simulator profile: niagara2, x86 or uniform (default: both testbeds).")
+
+let extended_flag =
+  Arg.(
+    value & flag
+    & info [ "extended" ]
+        ~doc:"Also run the coarse-lock heap ablation series.")
+
+let run_fig2 panel machine quick extended =
+  let scale =
+    if quick then Harness.Fig2.quick_scale else Harness.Fig2.paper_scale
+  in
+  let makers =
+    if extended then Harness.Pq.On_sim.extended_set
+    else Harness.Pq.On_sim.paper_set
+  in
+  let profiles =
+    match machine with
+    | None -> [ Sim.Profile.niagara2; Sim.Profile.x86 ]
+    | Some p -> [ p ]
+  in
+  let panels =
+    match panel with
+    | Some p -> [ p ]
+    | None ->
+        Harness.Workload.[ Insert; Extract; Mixed; Extract_many ]
+  in
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun panel ->
+          let series = Harness.Fig2.run ~scale ~makers ~profile ~panel () in
+          Harness.Fig2.print_panel ppf ~profile ~panel series)
+        panels)
+    profiles;
+  Format.pp_print_flush ppf ()
+
+let fig2_cmd =
+  let doc =
+    "Reproduce Fig. 2 (throughput vs threads) on the machine simulator."
+  in
+  Cmd.v (Cmd.info "fig2" ~doc)
+    Term.(const run_fig2 $ panel_arg $ machine_arg $ quick_flag $ extended_flag)
+
+(* ---------- real-domain runs ---------- *)
+
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let threads_arg =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "threads" ] ~docv:"N"
+        ~doc:"Max domains (default: recommended domain count).")
+
+let run_real panel threads quick =
+  let ops = if quick then 1 lsl 12 else 1 lsl 16 in
+  let max_t =
+    match threads with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
+  in
+  let thread_counts =
+    List.filter (fun t -> t <= max_t) [ 1; 2; 4; 8; 16 ]
+    |> fun l -> if List.mem max_t l then l else l @ [ max_t ]
+  in
+  let panels =
+    match panel with
+    | Some p -> [ p ]
+    | None -> Harness.Workload.[ Insert; Extract; Mixed; Extract_many ]
+  in
+  List.iter
+    (fun panel ->
+      Format.fprintf ppf "@.[real domains] %s: throughput (1000 ops/sec)@."
+        (Harness.Workload.panel_name panel);
+      let series =
+        Harness.Real_exp.run_panel ~panel ~thread_counts ~ops_per_thread:ops
+          ~init_size:(Harness.Fig2.init_size_for Harness.Fig2.quick_scale panel)
+          Harness.Pq.On_real.paper_set
+      in
+      Format.fprintf ppf "%-18s" "threads";
+      List.iter (fun t -> Format.fprintf ppf "%10d" t) thread_counts;
+      Format.fprintf ppf "@.";
+      List.iter
+        (fun (s : Harness.Real_exp.series) ->
+          Format.fprintf ppf "%-18s" s.structure;
+          List.iter
+            (fun (p : Harness.Real_exp.point) ->
+              Format.fprintf ppf "%10.0f" (p.throughput /. 1000.))
+            s.points;
+          Format.fprintf ppf "@.")
+        series)
+    panels;
+  Format.pp_print_flush ppf ()
+
+let real_cmd =
+  let doc = "Run the Fig. 2 workloads on real OCaml domains (wall clock)." in
+  Cmd.v (Cmd.info "real" ~doc)
+    Term.(const run_real $ panel_arg $ threads_arg $ quick_flag)
+
+(* ---------- ablations & extensions ---------- *)
+
+let run_ablation which quick =
+  let scale = if quick then 1 lsl 9 else 1 lsl 12 in
+  (match which with
+  | "threshold" ->
+      Harness.Ablation.(
+        print_threshold ppf (threshold_sweep ~ops_per_thread:scale ()))
+  | "kcss" ->
+      Harness.Ablation.(print_kcss ppf (kcss_vs_dcss ~ops_per_thread:scale ()))
+  | "approx" ->
+      Harness.Ablation.(
+        print_approx ppf
+          (approx_quality ~n:(scale * 8) ~samples:(scale * 2) ()))
+  | "costs" ->
+      Harness.Ablation.(print_primitives ppf (primitive_costs ()));
+      Format.fprintf ppf "@.";
+      Harness.Ablation.(print_costs ppf (sync_costs ()))
+  | other ->
+      (* unreachable: the argument parser only admits the four names *)
+      invalid_arg other);
+  Format.pp_print_flush ppf ()
+
+let ablation_arg =
+  Arg.(
+    required
+    & pos 0 (some (enum [ ("threshold", "threshold"); ("kcss", "kcss");
+                          ("approx", "approx"); ("costs", "costs") ])) None
+    & info [] ~docv:"WHICH"
+        ~doc:"One of: threshold, kcss, approx, costs.")
+
+let ablation_cmd =
+  let doc =
+    "Ablations: THRESHOLD sweep, k-CSS vs DCSS insert, probabilistic \
+     extract-min quality, synchronization-cost accounting."
+  in
+  Cmd.v (Cmd.info "ablation" ~doc)
+    Term.(const run_ablation $ ablation_arg $ quick_flag)
+
+(* ---------- mound shape visualization ---------- *)
+
+let run_shape n order =
+  let order =
+    match order with
+    | "increasing" -> Harness.Workload.Increasing
+    | "decreasing" -> Harness.Workload.Decreasing
+    | _ -> Harness.Workload.Random_order
+  in
+  let module S = Mound.Seq_int in
+  let q = S.create ~seed:5L () in
+  let keys = Harness.Workload.keys ~order ~n ~seed:106L in
+  Array.iter (S.insert q) keys;
+  let stats = Harness.Tables.mound_stats q in
+  Format.fprintf ppf
+    "Mound shape after %d %s inserts (depth %d, longest list %d)@." n
+    (Harness.Workload.order_name order)
+    stats.depth
+    (Mound.Stats.longest_list stats);
+  Format.fprintf ppf "%-6s %-30s %-9s %-11s %s@." "level" "occupancy"
+    "elements" "avg list" "fullness";
+  Array.iter
+    (fun (lv : Mound.Stats.level) ->
+      let frac = Mound.Stats.fullness lv /. 100. in
+      let bar_w = 30 in
+      let filled =
+        max (if frac > 0. then 1 else 0)
+          (int_of_float (frac *. float_of_int bar_w))
+      in
+      let bar = String.make filled '#' ^ String.make (bar_w - filled) '.' in
+      Format.fprintf ppf "%-6d %s %8d %10.1f  %6.2f%%@." lv.level bar
+        lv.elements
+        (Mound.Stats.avg_list_len lv)
+        (Mound.Stats.fullness lv))
+    stats.levels;
+  Format.pp_print_flush ppf ()
+
+let shape_cmd =
+  let n_arg =
+    Arg.(value & opt int (1 lsl 16) & info [ "n" ] ~docv:"N" ~doc:"Insertions.")
+  in
+  let order_arg =
+    Arg.(
+      value
+      & opt string "random"
+      & info [ "order" ] ~docv:"ORDER"
+          ~doc:"Key order: random, increasing or decreasing.")
+  in
+  let doc = "Visualize the level occupancy a mound develops." in
+  Cmd.v (Cmd.info "shape" ~doc) Term.(const run_shape $ n_arg $ order_arg)
+
+(* ---------- linearizability campaign ---------- *)
+
+let run_lin histories =
+  let structures =
+    [
+      ("Mound (LF)", Harness.Pq.On_sim.mound_lf);
+      ("Mound (Lock)", Harness.Pq.On_sim.mound_lock);
+      ("Coarse Heap", Harness.Pq.On_sim.coarse);
+      ("STM Heap", Harness.Pq.On_sim.stm_heap);
+      ("Hunt Heap (Lock)", Harness.Pq.On_sim.hunt);
+      ("Skip List (QC)", Harness.Pq.On_sim.skiplist);
+      ("Skip List (Lock)", Harness.Pq.On_sim.skiplist_lock);
+    ]
+  in
+  Format.fprintf ppf
+    "Linearizability: %d histories each (4 threads x 7 mixed ops, \
+     Wing-Gong checker on virtual-time stamps)@."
+    histories;
+  Format.fprintf ppf "%-18s %s@." "structure" "linearizable histories";
+  List.iter
+    (fun (name, maker) ->
+      let ok = ref 0 in
+      for i = 1 to histories do
+        let seed = Int64.of_int (9000 + (31 * i)) in
+        let q = maker.Harness.Pq.make ~capacity:4096 in
+        let rng = Prng.create seed in
+        let scripts =
+          List.init 4 (fun t ->
+              List.init 7 (fun i ->
+                  if Prng.int rng 2 = 0 then
+                    `Insert ((t * 1000) + i + Prng.int rng 50)
+                  else `Extract))
+        in
+        let pairs = List.map (fun s -> Harness.Lin.recorder q s) scripts in
+        let bodies =
+          Array.of_list (List.map (fun (b, _) -> fun _ -> b ()) pairs)
+        in
+        ignore (Sim.Sched.run ~seed bodies);
+        let history = List.concat_map (fun (_, c) -> c ()) pairs in
+        if Harness.Lin.check history then incr ok
+      done;
+      Format.fprintf ppf "%-18s %d/%d@." name !ok histories)
+    structures;
+  Format.pp_print_flush ppf ()
+
+let lin_cmd =
+  let histories =
+    Arg.(
+      value & opt int 50
+      & info [ "histories" ] ~docv:"N" ~doc:"Histories per structure.")
+  in
+  let doc =
+    "Check recorded concurrent histories for linearizability (the \
+     quiescently consistent structures are expected to fail some)."
+  in
+  Cmd.v (Cmd.info "lin" ~doc) Term.(const run_lin $ histories)
+
+(* ---------- everything ---------- *)
+
+let run_all quick =
+  run_table 1 quick;
+  run_table 2 quick;
+  run_table 3 quick;
+  run_table 4 quick;
+  run_fig2 None None quick false;
+  List.iter
+    (fun w -> run_ablation w quick)
+    [ "costs"; "threshold"; "kcss"; "approx" ]
+
+let all_cmd =
+  let doc = "Reproduce every table and figure, in paper order." in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run_all $ quick_flag)
+
+let () =
+  let doc = "Reproduction of Liu & Spear, Mounds (ICPP 2012)" in
+  let info = Cmd.info "repro" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table_cmd 1; table_cmd 2; table_cmd 3; table_cmd 4; fig2_cmd;
+            real_cmd; ablation_cmd; lin_cmd; shape_cmd; all_cmd;
+          ]))

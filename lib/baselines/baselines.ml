@@ -1,0 +1,33 @@
+(** Baseline priority queues the mound is evaluated against (paper §VI):
+
+    - {!Hunt_heap}: fine-grained-locking binary heap (Hunt et al. 1996),
+      the "Hunt Heap (Lock)" series of Fig. 2;
+    - {!Skiplist_pq}: non-blocking skiplist priority queue (Lotan–Shavit
+      style), the "Skip List (QC)" series;
+    - {!Skiplist_lock_pq}: the original fine-grained-locking Lotan–Shavit
+      skiplist priority queue;
+    - {!Stm_heap}: binary heap on a TL2-style STM (the Dragicevic & Bauer
+      comparison point from the paper's introduction);
+    - {!Coarse_heap}: single-lock binary heap, an ablation point;
+    - {!Seq_heap}: sequential binary heap, the model oracle;
+    - {!Spinlock}: the TTAS lock the locking structures are built from.
+
+    Like the mounds, all concurrent baselines are functors over
+    {!Runtime.S} and run both on real domains and in the simulator. *)
+
+module Spinlock = Spinlock
+module Seq_heap = Seq_heap
+module Coarse_heap = Coarse_heap
+module Hunt_heap = Hunt_heap
+module Skiplist_pq = Skiplist_pq
+module Skiplist_lock_pq = Skiplist_lock_pq
+module Stm_heap = Stm_heap
+
+(** Pre-applied integer instances over the real runtime. *)
+
+module Seq_heap_int = Seq_heap.Make (Mound.Int_ord)
+module Coarse_heap_int = Coarse_heap.Make (Runtime.Real) (Mound.Int_ord)
+module Hunt_heap_int = Hunt_heap.Make (Runtime.Real) (Mound.Int_ord)
+module Skiplist_pq_int = Skiplist_pq.Make (Runtime.Real) (Mound.Int_ord)
+module Skiplist_lock_pq_int = Skiplist_lock_pq.Make (Runtime.Real) (Mound.Int_ord)
+module Stm_heap_int = Stm_heap.Make (Runtime.Real)

@@ -1,0 +1,105 @@
+(** Binary heap behind one global spinlock.
+
+    The simplest possible concurrent priority queue: every operation
+    serializes on a single lock. It is the ablation point for "how much
+    does fine-grained synchronization actually buy" in the benches, and a
+    convenient linearizable reference in concurrent tests.
+
+    The backing array stores elements in the runtime's atomic cells even
+    though the lock already orders all accesses: under the simulator this
+    is what makes the heap's own memory traffic visible to the cost
+    model, so the coarse heap is charged fairly against the fine-grained
+    structures. Fixed capacity, like the other array-based baselines. *)
+
+module Make (R : Runtime.S) (Ord : Mound.Intf.ORDERED) = struct
+  module L = Spinlock.Make (R)
+
+  type elt = Ord.t
+
+  type t = {
+    lock : L.t;
+    data : elt option R.Atomic.t array;  (** 0-based heap order *)
+    size : int R.Atomic.t;
+    capacity : int;
+  }
+
+  let create ?(capacity = 1 lsl 17) () =
+    {
+      lock = L.create ();
+      data = Array.init capacity (fun _ -> R.Atomic.make None);
+      size = R.Atomic.make 0;
+      capacity;
+    }
+
+  (* All helpers below run under the lock. *)
+
+  let get_exn t i =
+    match R.Atomic.get t.data.(i) with
+    | Some v -> v
+    | None -> invalid_arg "Coarse_heap: empty slot"
+
+  let lt t i j = Ord.compare (get_exn t i) (get_exn t j) < 0
+
+  let swap t i j =
+    let vi = R.Atomic.get t.data.(i) in
+    R.Atomic.set t.data.(i) (R.Atomic.get t.data.(j));
+    R.Atomic.set t.data.(j) vi
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if lt t i p then begin
+        swap t i p;
+        sift_up t p
+      end
+    end
+
+  let rec sift_down t n i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < n && lt t l !smallest then smallest := l;
+    if r < n && lt t r !smallest then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t n !smallest
+    end
+
+  let insert t v =
+    L.with_lock t.lock (fun () ->
+        let n = R.Atomic.get t.size in
+        if n >= t.capacity then failwith "Coarse_heap.insert: capacity exceeded";
+        R.Atomic.set t.data.(n) (Some v);
+        R.Atomic.set t.size (n + 1);
+        sift_up t n)
+
+  let extract_min t =
+    L.with_lock t.lock (fun () ->
+        let n = R.Atomic.get t.size in
+        if n = 0 then None
+        else begin
+          let min = R.Atomic.get t.data.(0) in
+          R.Atomic.set t.data.(0) (R.Atomic.get t.data.(n - 1));
+          R.Atomic.set t.data.(n - 1) None;
+          R.Atomic.set t.size (n - 1);
+          if n > 1 then sift_down t (n - 1) 0;
+          min
+        end)
+
+  let peek_min t = L.with_lock t.lock (fun () -> R.Atomic.get t.data.(0))
+
+  let size t = L.with_lock t.lock (fun () -> R.Atomic.get t.size)
+
+  let is_empty t = size t = 0
+
+  let check t =
+    L.with_lock t.lock (fun () ->
+        let n = R.Atomic.get t.size in
+        let ok = ref true in
+        for i = 1 to n - 1 do
+          if lt t i ((i - 1) / 2) then ok := false
+        done;
+        for i = n to t.capacity - 1 do
+          if R.Atomic.get t.data.(i) <> None then ok := false
+        done;
+        !ok)
+end

@@ -1,0 +1,267 @@
+(** The Hunt concurrent binary heap (Hunt, Michael, Parthasarathy & Scott,
+    "An Efficient Algorithm for Concurrent Priority Queue Heaps", IPL
+    1996) — the fine-grained-locking baseline of the paper's Fig. 2.
+
+    Per-node locks plus one heap lock protecting the size counter. The
+    algorithm's two signature ideas:
+
+    - {e bit-reversed insertion points}: consecutive insertions land in
+      different subtrees of the bottom level, so their trickle-up paths
+      overlap only near the root;
+    - {e tagged items}: an inserted item carries its inserter's id while
+      it trickles up, so insertion holds at most one parent/child lock
+      pair at a time. A concurrent delete-min's sift-down may move a
+      tagged item; the inserter detects the foreign tag and chases its
+      item upward.
+
+    Unlike the mound, every insert performs O(log N) lock acquisitions and
+    swaps on the path to the root — the contention the paper's insert
+    benchmark exposes.
+
+    Each node is one atomic holding an immutable [{locked; tag; prio}]
+    record; the lock bit is acquired by CAS and the holder publishes fresh
+    records, as in the locking mound. The backing array has fixed
+    capacity, as in the original. *)
+
+module Make (R : Runtime.S) (Ord : Mound.Intf.ORDERED) = struct
+  type elt = Ord.t
+
+  type tag = Empty | Available | Pid of int
+
+  type node = { locked : bool; tag : tag; prio : elt option }
+
+  type hstate = { hlocked : bool; size : int }
+
+  type t = {
+    items : node R.Atomic.t array;  (** 1-based; slot 0 unused *)
+    hlock : hstate R.Atomic.t;
+    capacity : int;
+  }
+
+  let create ?(capacity = 1 lsl 17) () =
+    (* Round up to 2^k - 1: bit-reversed positions for counts <= 2^k - 1
+       stay within [1, 2^k - 1], so every live index is in bounds. *)
+    let capacity =
+      let rec fit k = if (1 lsl k) - 1 >= capacity then (1 lsl k) - 1 else fit (k + 1) in
+      fit 1
+    in
+    {
+      items =
+        Array.init (capacity + 1) (fun _ ->
+            R.Atomic.make { locked = false; tag = Empty; prio = None });
+      hlock = R.Atomic.make { hlocked = false; size = 0 };
+      capacity;
+    }
+
+  (* --- locks --- *)
+
+  let rec lock_heap t =
+    let s = R.Atomic.get t.hlock in
+    if (not s.hlocked)
+       && R.Atomic.compare_and_set t.hlock s { s with hlocked = true }
+    then s.size
+    else begin
+      R.cpu_relax ();
+      lock_heap t
+    end
+
+  let unlock_heap t size = R.Atomic.set t.hlock { hlocked = false; size }
+
+  (* Returns the contents observed at acquisition; the holder tracks any
+     changes it makes itself. *)
+  let rec lock_node t i =
+    let slot = t.items.(i) in
+    let n = R.Atomic.get slot in
+    if (not n.locked) && R.Atomic.compare_and_set slot n { n with locked = true }
+    then n
+    else begin
+      R.cpu_relax ();
+      lock_node t i
+    end
+
+  let unlock t i tag prio =
+    R.Atomic.set t.items.(i) { locked = false; tag; prio }
+
+  (* Store under a held lock, keeping it held. *)
+  let store t i tag prio = R.Atomic.set t.items.(i) { locked = true; tag; prio }
+
+  (* --- bit-reversed position of the [c]-th item: consecutive counts map
+     to bit-reversed offsets within the bottom level --- *)
+
+  let position c =
+    let rec level k = if c lsr (k + 1) = 0 then k else level (k + 1) in
+    let k = level 0 in
+    let off = c - (1 lsl k) in
+    let rec rev i acc bits =
+      if bits = 0 then acc
+      else rev (i lsr 1) ((acc lsl 1) lor (i land 1)) (bits - 1)
+    in
+    (1 lsl k) + rev off 0 k
+
+  let prio_lt a b =
+    match (a, b) with
+    | Some x, Some y -> Ord.compare x y < 0
+    | _ -> false (* only reached with both slots non-empty *)
+
+  (* --- insert --- *)
+
+  let rec trickle_up t my i =
+    if i = 1 then begin
+      (* Reached the root: publish if the item is still ours. *)
+      let n1 = lock_node t 1 in
+      let tag = if n1.tag = my then Available else n1.tag in
+      unlock t 1 tag n1.prio
+    end
+    else if i > 1 then begin
+      let p = i / 2 in
+      let np = lock_node t p in
+      let ni = lock_node t i in
+      match (np.tag, ni.tag) with
+      | Available, tg when tg = my ->
+          if prio_lt ni.prio np.prio then begin
+            (* Swap: our tagged item moves to the parent. *)
+            unlock t i np.tag np.prio;
+            unlock t p ni.tag ni.prio;
+            trickle_up t my p
+          end
+          else begin
+            (* Heap order holds; the item comes to rest here. *)
+            unlock t i Available ni.prio;
+            unlock t p np.tag np.prio
+          end
+      | Empty, _ ->
+          (* Our item was consumed (or the path collapsed); done. *)
+          unlock t i ni.tag ni.prio;
+          unlock t p np.tag np.prio
+      | _, tg when tg <> my ->
+          (* A sift-down moved our item up past us; chase it. *)
+          unlock t i ni.tag ni.prio;
+          unlock t p np.tag np.prio;
+          trickle_up t my p
+      | _ ->
+          (* The parent is itself in transit (tagged); wait and retry. *)
+          unlock t i ni.tag ni.prio;
+          unlock t p np.tag np.prio;
+          R.cpu_relax ();
+          trickle_up t my i
+    end
+
+  let insert t v =
+    let my = Pid (R.self ()) in
+    let size = lock_heap t in
+    if size >= t.capacity then begin
+      unlock_heap t size;
+      failwith "Hunt_heap.insert: capacity exceeded"
+    end;
+    let i0 = position (size + 1) in
+    let _ = lock_node t i0 in
+    unlock_heap t (size + 1);
+    unlock t i0 my (Some v);
+    trickle_up t my i0
+
+  (* --- extract-min --- *)
+
+  (* Sift down from [i], whose lock we hold and whose contents are
+     [(tag, prio)]. Children are locked underneath us (hand over hand),
+     and at most three locks are ever held. *)
+  let rec sift_down t i tag prio =
+    let l = 2 * i and r = (2 * i) + 1 in
+    let descend c nc =
+      if prio_lt nc.prio prio then begin
+        (* Swap with the smaller child and follow our item down. *)
+        store t c tag prio;
+        unlock t i nc.tag nc.prio;
+        sift_down t c tag prio
+      end
+      else begin
+        unlock t c nc.tag nc.prio;
+        unlock t i tag prio
+      end
+    in
+    if l > t.capacity then unlock t i tag prio
+    else begin
+      let nl = lock_node t l in
+      if r > t.capacity then begin
+        if nl.tag = Empty then begin
+          unlock t l nl.tag nl.prio;
+          unlock t i tag prio
+        end
+        else descend l nl
+      end
+      else begin
+        let nr = lock_node t r in
+        if nl.tag = Empty && nr.tag = Empty then begin
+          unlock t r nr.tag nr.prio;
+          unlock t l nl.tag nl.prio;
+          unlock t i tag prio
+        end
+        else if nr.tag = Empty || (nl.tag <> Empty && prio_lt nl.prio nr.prio)
+        then begin
+          unlock t r nr.tag nr.prio;
+          descend l nl
+        end
+        else begin
+          unlock t l nl.tag nl.prio;
+          descend r nr
+        end
+      end
+    end
+
+  let extract_min t =
+    let size = lock_heap t in
+    if size = 0 then begin
+      unlock_heap t size;
+      None
+    end
+    else begin
+      let bottom = position size in
+      let nb = lock_node t bottom in
+      unlock_heap t (size - 1);
+      let moved = nb.prio in
+      unlock t bottom Empty None;
+      let n1 = lock_node t 1 in
+      if n1.tag = Empty then begin
+        (* [bottom] was the root: the item we removed is the result. *)
+        unlock t 1 n1.tag n1.prio;
+        moved
+      end
+      else begin
+        let retval = n1.prio in
+        store t 1 Available moved;
+        sift_down t 1 Available moved;
+        retval
+      end
+    end
+
+  let peek_min t =
+    let n1 = lock_node t 1 in
+    unlock t 1 n1.tag n1.prio;
+    n1.prio
+
+  let size t =
+    let s = lock_heap t in
+    unlock_heap t s;
+    s
+
+  let is_empty t = size t = 0
+
+  (* --- quiescent checks (tests) --- *)
+
+  (** At a quiescent point: no locks held, every live slot Available, and
+      heap order between each live node and its parent. *)
+  let check t =
+    let s = (R.Atomic.get t.hlock).size in
+    let ok = ref (not (R.Atomic.get t.hlock).hlocked) in
+    for c = 1 to s do
+      let i = position c in
+      let n = R.Atomic.get t.items.(i) in
+      if n.locked || n.tag <> Available || n.prio = None then ok := false;
+      if i > 1 then begin
+        let p = R.Atomic.get t.items.(i / 2) in
+        match (p.prio, n.prio) with
+        | Some a, Some b -> if Ord.compare a b > 0 then ok := false
+        | _ -> ok := false
+      end
+    done;
+    !ok
+end

@@ -1,0 +1,259 @@
+(** Lock-free skiplist-based priority queue — the paper's skiplist (QC)
+    baseline.
+
+    Follows Lotan & Shavit's design as made non-blocking (Fraser; Herlihy
+    & Shavit ch. 14–15): a lock-free skiplist ordered by key, where
+
+    - [insert] links a node of random height with CASes, bottom level
+      first (the bottom-level CAS is the insertion's linearization);
+    - [extract_min] scans the bottom level and attempts to CAS each
+      candidate's [deleted] flag false→true; the winner owns the element
+      and then removes the node physically (mark next pointers top-down,
+      then unlink). As the paper notes, the resulting priority queue is
+      {e quiescently consistent} rather than linearizable — the scan may
+      return an element that was not minimal for the entire duration of
+      the call — and almost perfectly disjoint-access parallel, which is
+      what makes it scale in Fig. 2 (b)/(f).
+
+    Next pointers hold immutable [{succ; marked}] records; [marked] is the
+    Harris-style deletion mark on the {e outgoing} pointer of the node
+    being removed. Traversals help unlink marked nodes they pass. *)
+
+module Make (R : Runtime.S) (Ord : Mound.Intf.ORDERED) = struct
+  type elt = Ord.t
+
+  let max_height = 20
+
+  type contents = Head | Item of elt | Tail
+
+  type node = {
+    c : contents;
+    deleted : bool R.Atomic.t;
+    next : link R.Atomic.t array;  (** length = node height; [||] for tail *)
+  }
+
+  and link = { succ : node; marked : bool }
+
+  type t = { head : node }
+
+  let create () =
+    let tail = { c = Tail; deleted = R.Atomic.make false; next = [||] } in
+    let head =
+      {
+        c = Head;
+        deleted = R.Atomic.make false;
+        next =
+          Array.init max_height (fun _ ->
+              R.Atomic.make { succ = tail; marked = false });
+      }
+    in
+    { head }
+
+  (* Strictly-before relation used by searches: equal keys are "not
+     before", so insertion lands before the first equal key and
+     duplicates are supported. *)
+  let node_lt n key =
+    match n.c with
+    | Head -> true
+    | Tail -> false
+    | Item x -> Ord.compare x key < 0
+
+  let height t = Array.length t.next
+
+  let random_height () =
+    let rec flip h = if h >= max_height || R.rand_int 2 = 0 then h else flip (h + 1) in
+    flip 1
+
+  exception Retry
+
+  (* Search for [key]: fills [preds]/[plinks]/[succs] per level such that
+     preds.(l) < key <= succs.(l), with plinks.(l) the exact link record
+     read from preds.(l) (needed as the CAS witness). Unlinks marked nodes
+     encountered on the way; restarts from the head when a CAS witness
+     goes stale. *)
+  let find t key preds plinks succs =
+    let rec from_head () =
+      try
+        let pred = ref t.head in
+        for lvl = max_height - 1 downto 0 do
+          let rec walk () =
+            let plink = R.Atomic.get !pred.next.(lvl) in
+            if plink.marked then raise Retry;
+            let curr = plink.succ in
+            match curr.c with
+            | Tail ->
+                preds.(lvl) <- !pred;
+                plinks.(lvl) <- plink;
+                succs.(lvl) <- curr
+            | Head -> assert false
+            | Item _ ->
+                let clink = R.Atomic.get curr.next.(lvl) in
+                if clink.marked then begin
+                  (* Physically remove [curr] at this level. *)
+                  if
+                    R.Atomic.compare_and_set !pred.next.(lvl) plink
+                      { succ = clink.succ; marked = false }
+                  then walk ()
+                  else raise Retry
+                end
+                else if node_lt curr key then begin
+                  pred := curr;
+                  walk ()
+                end
+                else begin
+                  preds.(lvl) <- !pred;
+                  plinks.(lvl) <- plink;
+                  succs.(lvl) <- curr
+                end
+          in
+          walk ()
+        done
+      with Retry -> from_head ()
+    in
+    from_head ()
+
+  let insert t key =
+    let h = random_height () in
+    let preds = Array.make max_height t.head in
+    let plinks =
+      Array.make max_height { succ = t.head; marked = false }
+    in
+    let succs = Array.make max_height t.head in
+    (* Link the bottom level; its CAS linearizes the insert. *)
+    let rec bottom () =
+      find t key preds plinks succs;
+      let node =
+        {
+          c = Item key;
+          deleted = R.Atomic.make false;
+          next =
+            Array.init h (fun lvl ->
+                R.Atomic.make { succ = succs.(min lvl (max_height - 1)); marked = false });
+        }
+      in
+      if
+        R.Atomic.compare_and_set preds.(0).next.(0) plinks.(0)
+          { succ = node; marked = false }
+      then node
+      else bottom ()
+    in
+    let node = bottom () in
+    (* Link the upper levels, reusing the predecessors found for the
+       bottom-level CAS; re-search only when a CAS witness is stale.
+       Abandon linking if the node got deleted (marked) meanwhile. *)
+    let rec link lvl ~fresh =
+      if lvl < h then begin
+        if not fresh then find t key preds plinks succs;
+        let nl = R.Atomic.get node.next.(lvl) in
+        if nl.marked then () (* node already removed; stop linking *)
+        else if nl.succ != succs.(lvl)
+                && not
+                     (R.Atomic.compare_and_set node.next.(lvl) nl
+                        { succ = succs.(lvl); marked = false })
+        then link lvl ~fresh:false
+        else if
+          succs.(lvl) == node
+          (* an equal-key re-search can land on the node itself once it is
+             reachable; nothing to link then *)
+          || R.Atomic.compare_and_set preds.(lvl).next.(lvl) plinks.(lvl)
+               { succ = node; marked = false }
+        then link (lvl + 1) ~fresh
+        else link lvl ~fresh:false
+      end
+    in
+    link 1 ~fresh:true
+
+  (* Mark every level of [node] top-down; returns after the bottom level
+     is marked (by us or a helper). Then a search unlinks it. *)
+  let remove_physically t node =
+    let h = height node in
+    for lvl = h - 1 downto 1 do
+      let rec mark () =
+        let l = R.Atomic.get node.next.(lvl) in
+        if not l.marked then
+          if not (R.Atomic.compare_and_set node.next.(lvl) l { l with marked = true })
+          then mark ()
+      in
+      mark ()
+    done;
+    let rec mark_bottom () =
+      let l = R.Atomic.get node.next.(0) in
+      if not l.marked then
+        if not (R.Atomic.compare_and_set node.next.(0) l { l with marked = true })
+        then mark_bottom ()
+    in
+    mark_bottom ();
+    (* One search by the removed key unlinks the node at every level. *)
+    match node.c with
+    | Item key ->
+        let preds = Array.make max_height t.head in
+        let plinks = Array.make max_height { succ = t.head; marked = false } in
+        let succs = Array.make max_height t.head in
+        find t key preds plinks succs
+    | Head | Tail -> ()
+
+  (** Claim the first undeleted element of the bottom level. The claiming
+      CAS on [deleted] is the extraction; physical removal follows and can
+      be helped by any later traversal. *)
+  let extract_min t =
+    let rec scan (curr : node) =
+      match curr.c with
+      | Tail -> None
+      | Head | Item _ ->
+          let clink = R.Atomic.get curr.next.(0) in
+          let claim key =
+            if
+              (not (R.Atomic.get curr.deleted))
+              && R.Atomic.compare_and_set curr.deleted false true
+            then begin
+              remove_physically t curr;
+              Some key
+            end
+            else scan clink.succ
+          in
+          (match curr.c with
+          | Head -> scan clink.succ
+          | Item key -> claim key
+          | Tail -> None)
+    in
+    scan (R.Atomic.get t.head.next.(0)).succ
+
+  let peek_min t =
+    let rec scan (curr : node) =
+      match curr.c with
+      | Tail -> None
+      | Head -> scan (R.Atomic.get curr.next.(0)).succ
+      | Item key ->
+          if R.Atomic.get curr.deleted then
+            scan (R.Atomic.get curr.next.(0)).succ
+          else Some key
+    in
+    scan t.head
+
+  let is_empty t = peek_min t = None
+
+  (* --- quiescent introspection (tests) --- *)
+
+  (** Undeleted elements on the bottom level, in order. *)
+  let to_list t =
+    let rec go acc (curr : node) =
+      match curr.c with
+      | Tail -> List.rev acc
+      | Head -> go acc (R.Atomic.get curr.next.(0)).succ
+      | Item key ->
+          let acc = if R.Atomic.get curr.deleted then acc else key :: acc in
+          go acc (R.Atomic.get curr.next.(0)).succ
+    in
+    go [] t.head
+
+  let size t = List.length (to_list t)
+
+  (** Bottom level sorted and, per level, every unmarked link's target
+      list is a (sorted) sublist — the basic skiplist shape invariant. *)
+  let check t =
+    let rec sorted = function
+      | [] | [ _ ] -> true
+      | a :: (b :: _ as rest) -> Ord.compare a b <= 0 && sorted rest
+    in
+    sorted (to_list t)
+end

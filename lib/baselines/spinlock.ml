@@ -1,0 +1,38 @@
+(** Test-and-test-and-set spinlock over a runtime's atomics.
+
+    The locking baselines (and anything else needing mutual exclusion that
+    must also run inside the simulator) use this instead of [Mutex]: a
+    [Mutex] blocks the whole OS thread, which is meaningless under the
+    cooperative simulator, while a spinlock's acquire loop turns waiting
+    into visible, costed shared reads. The read-spin between CAS attempts
+    keeps the wait local to the cache line copy, as in the classical
+    TTAS. *)
+
+module Make (R : Runtime.S) = struct
+  type t = bool R.Atomic.t
+
+  let create () = R.Atomic.make false
+
+  let rec acquire t =
+    if R.Atomic.compare_and_set t false true then ()
+    else begin
+      while R.Atomic.get t do
+        R.cpu_relax ()
+      done;
+      acquire t
+    end
+
+  let release t = R.Atomic.set t false
+
+  let try_acquire t = R.Atomic.compare_and_set t false true
+
+  let with_lock t f =
+    acquire t;
+    match f () with
+    | v ->
+        release t;
+        v
+    | exception e ->
+        release t;
+        raise e
+end

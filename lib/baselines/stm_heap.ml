@@ -1,0 +1,92 @@
+(** Binary min-heap on software transactional memory — the Dragicevic &
+    Bauer comparison point from the paper's introduction.
+
+    Every operation is one transaction over {!Stm} tvars: [size] plus one
+    tvar per slot. The transaction makes the whole sift path atomic, so
+    the structure is trivially linearizable, but an insert conflicts with
+    any concurrent operation whose read/write set overlaps its path — in
+    particular everything conflicts at [size] and near the root, which is
+    why the paper dismisses STM heaps on performance grounds. Keys are
+    [int] (the STM is word-based, like TL2).
+
+    Fixed capacity, as in {!Hunt_heap}. *)
+
+module Make (R : Runtime.S) = struct
+  module S = Stm.Make (R)
+
+  type t = { data : S.tvar array; size : S.tvar; capacity : int }
+
+  let create ?(capacity = 1 lsl 17) () =
+    {
+      data = Array.init capacity (fun _ -> S.make 0);
+      size = S.make 0;
+      capacity;
+    }
+
+  let insert t v =
+    S.atomically (fun tx ->
+        let n = S.read tx t.size in
+        if n >= t.capacity then failwith "Stm_heap.insert: capacity exceeded";
+        S.write tx t.size (n + 1);
+        (* trickle up transactionally *)
+        let rec up i v =
+          if i = 0 then S.write tx t.data.(0) v
+          else
+            let p = (i - 1) / 2 in
+            let pv = S.read tx t.data.(p) in
+            if v < pv then begin
+              S.write tx t.data.(i) pv;
+              up p v
+            end
+            else S.write tx t.data.(i) v
+        in
+        up n v)
+
+  let extract_min t =
+    S.atomically (fun tx ->
+        let n = S.read tx t.size in
+        if n = 0 then None
+        else begin
+          let min = S.read tx t.data.(0) in
+          let last = S.read tx t.data.(n - 1) in
+          S.write tx t.size (n - 1);
+          let rec down i v =
+            let l = (2 * i) + 1 and r = (2 * i) + 2 in
+            let size = n - 1 in
+            if l >= size then S.write tx t.data.(i) v
+            else begin
+              let lv = S.read tx t.data.(l) in
+              let c, cv =
+                if r >= size then (l, lv)
+                else
+                  let rv = S.read tx t.data.(r) in
+                  if lv <= rv then (l, lv) else (r, rv)
+              in
+              if cv < v then begin
+                S.write tx t.data.(i) cv;
+                down c v
+              end
+              else S.write tx t.data.(i) v
+            end
+          in
+          if n > 1 then down 0 last;
+          Some min
+        end)
+
+  let peek_min t =
+    S.atomically (fun tx ->
+        if S.read tx t.size = 0 then None else Some (S.read tx t.data.(0)))
+
+  let size t = S.atomically (fun tx -> S.read tx t.size)
+
+  let is_empty t = size t = 0
+
+  (** Quiescent heap-order check. *)
+  let check t =
+    let n = S.peek t.size in
+    let ok = ref true in
+    for i = 1 to n - 1 do
+      if S.peek t.data.((i - 1) / 2) > S.peek t.data.(i) then ok := false
+    done;
+    !ok
+end

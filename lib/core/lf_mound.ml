@@ -1,0 +1,333 @@
+(** Lock-free mound (paper §III, Listing 2).
+
+    Each tree node is an {!Mcas} location holding an immutable record
+    [{list; dirty; seq}] — the paper's ⟨list, dirty, c⟩ triple. A single
+    [Mcas.get] is the paper's atomic READ; publishing a fresh record per
+    update gives the counter-stamped-CAS semantics of the paper (we keep
+    the [seq] counter for fidelity and diagnostics, but in OCaml physical
+    equality on the fresh record already rules out ABA).
+
+    - [insert] finds a candidate with randomized leaf probing + binary
+      search (O(log log N) reads), re-validates the candidate and its
+      parent, and linearizes with a single CAS (at the root) or DCSS
+      (elsewhere) — L4–L15.
+    - [extract_min] linearizes with a CAS that removes the root list's
+      head and sets the root dirty, then restores the mound property with
+      [moundify] — L22–L32.
+    - [moundify] fixes one parent/children triangle at a time with a DCAS
+      list swap, helping any dirty child first; concurrent operations that
+      meet the same dirty node help each other — L33–L58.
+
+    Progress: every loop iteration that fails does so because some CAS,
+    DCSS or DCAS by another thread succeeded, and the {!Mcas} operations
+    are themselves lock-free, so the structure is lock-free. *)
+
+module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
+  module M = Mcas.Make (R.Atomic)
+  module T = Tree.Make (R)
+
+  type elt = Ord.t
+
+  type mnode = { list : elt list; dirty : bool; seq : int }
+
+  type t = { tree : mnode M.loc T.t }
+
+  let vcompare = Intf.Value.compare Ord.compare
+
+  let node_value n = match n.list with [] -> None | x :: _ -> Some x
+
+  let create ?threshold ?init_depth () =
+    let make_slot () = M.make { list = []; dirty = false; seq = 0 } in
+    { tree = T.create ?threshold ?init_depth make_slot }
+
+  let depth t = T.depth t.tree
+
+  let read t i = M.get (T.get t.tree i)
+
+  (* ----- moundify: restore the mound property at a dirty node ----- *)
+
+  let rec moundify t n =
+    let slot = T.get t.tree n in
+    let node = M.get slot in
+    let d = T.depth t.tree in
+    if not node.dirty then () (* helped by someone else — L36 *)
+    else if T.is_leaf n ~depth:d then begin
+      (* L37–L39: a leaf trivially satisfies the property. *)
+      if
+        M.cas slot node { list = node.list; dirty = false; seq = node.seq + 1 }
+      then ()
+      else moundify t n
+    end
+    else begin
+      let lslot = T.get t.tree (2 * n) and rslot = T.get t.tree ((2 * n) + 1) in
+      let left = M.get lslot in
+      let right = M.get rslot in
+      if left.dirty then begin
+        moundify t (2 * n);
+        moundify t n
+      end
+      else if right.dirty then begin
+        moundify t ((2 * n) + 1);
+        moundify t n
+      end
+      else begin
+        let vn = node_value node
+        and vl = node_value left
+        and vr = node_value right in
+        if vcompare vl vr <= 0 && vcompare vl vn < 0 then begin
+          (* Swap lists with the left child (L48–L51). The child becomes
+             dirty and is cleaned recursively. *)
+          if
+            M.dcas slot node
+              { list = left.list; dirty = false; seq = node.seq + 1 }
+              lslot left
+              { list = node.list; dirty = true; seq = left.seq + 1 }
+          then moundify t (2 * n)
+          else moundify t n
+        end
+        else if vcompare vr vl < 0 && vcompare vr vn < 0 then begin
+          if
+            M.dcas slot node
+              { list = right.list; dirty = false; seq = node.seq + 1 }
+              rslot right
+              { list = node.list; dirty = true; seq = right.seq + 1 }
+          then moundify t ((2 * n) + 1)
+          else moundify t n
+        end
+        else begin
+          (* L56–L58: the node already dominates both children. *)
+          if
+            M.cas slot node
+              { list = node.list; dirty = false; seq = node.seq + 1 }
+          then ()
+          else moundify t n
+        end
+      end
+    end
+
+  (* ----- insert ----- *)
+
+  let rec insert t v =
+    let ge i = Intf.Value.ge_elt Ord.compare (node_value (read t i)) v in
+    let c = T.find_insert_point t.tree ~ge in
+    let cslot = T.get t.tree c in
+    let cur = M.get cslot in
+    (* Double-check the candidate (L7): probing was unsynchronized. *)
+    if Intf.Value.ge_elt Ord.compare (node_value cur) v then begin
+      let fresh = { list = v :: cur.list; dirty = cur.dirty; seq = cur.seq + 1 } in
+      if c = 1 then begin
+        (* Root insert linearizes with a plain CAS (L9–L10). *)
+        if not (M.cas cslot cur fresh) then insert t v
+      end
+      else begin
+        let pslot = T.get t.tree (c / 2) in
+        let parent = M.get pslot in
+        if Intf.Value.le_elt Ord.compare (node_value parent) v then begin
+          (* DCSS: write the child only if the parent is unchanged
+             (L12–L14). *)
+          if not (M.dcss pslot parent cslot cur fresh) then insert t v
+        end
+        else insert t v
+      end
+    end
+    else insert t v
+
+  (** Alternative insert for the ablation study: the paper's §III-D opens
+      with "the simplest technique for making insert lock-free is to use a
+      k-compare-single-swap operation (k-CSS), in which the entire set of
+      nodes that are read in the binary search are kept constant during
+      the insertion" — before showing that validating only the
+      parent/child pair (the DCSS of {!insert}) suffices. This version
+      implements the naive k-CSS scheme with a CASN whose upper legs
+      rewrite each ancestor to itself, so benches can quantify what the
+      DCSS insight saves. *)
+  let rec insert_kcss t v =
+    let ge i = Intf.Value.ge_elt Ord.compare (node_value (read t i)) v in
+    let c = T.find_insert_point t.tree ~ge in
+    (* Snapshot the whole ancestor chain root..c. *)
+    let rec chain i acc = if i = 0 then acc else chain (i / 2) (i :: acc) in
+    let path = chain c [] in
+    let snap = List.map (fun i -> (i, M.get (T.get t.tree i))) path in
+    let valid =
+      List.for_all
+        (fun (i, node) ->
+          if i = c then Intf.Value.ge_elt Ord.compare (node_value node) v
+          else Intf.Value.le_elt Ord.compare (node_value node) v)
+        snap
+    in
+    if not valid then insert_kcss t v
+    else
+      let ops =
+        List.map
+          (fun (i, node) ->
+            let slot = T.get t.tree i in
+            if i = c then
+              (slot, node,
+               { list = v :: node.list; dirty = node.dirty; seq = node.seq + 1 })
+            else (slot, node, node))
+          snap
+        |> Array.of_list
+      in
+      if not (M.casn ops) then insert_kcss t v
+
+  (** Insert a {e sorted} batch with a single CAS/DCSS where possible —
+      the dual of [extract_many], for returning unconsumed work to the
+      pool. The splice at node [c] needs [val(parent c) <= hd batch] and
+      [last batch <= val(c)]; after a few failed attempts (wide batches
+      rarely fit one node) the elements are inserted individually. *)
+  let insert_many t batch =
+    match batch with
+    | [] -> ()
+    | hd :: _ ->
+        let rec last = function
+          | [ x ] -> x
+          | _ :: rest -> last rest
+          | [] -> assert false
+        in
+        let lst = last batch in
+        let rec attempt tries =
+          if tries = 0 then List.iter (insert t) batch
+          else begin
+            let ge i =
+              Intf.Value.ge_elt Ord.compare (node_value (read t i)) lst
+            in
+            let c = T.find_insert_point t.tree ~ge in
+            let cslot = T.get t.tree c in
+            let cur = M.get cslot in
+            if Intf.Value.ge_elt Ord.compare (node_value cur) lst then begin
+              let fresh =
+                { list = batch @ cur.list; dirty = cur.dirty; seq = cur.seq + 1 }
+              in
+              if c = 1 then begin
+                if not (M.cas cslot cur fresh) then attempt (tries - 1)
+              end
+              else begin
+                let pslot = T.get t.tree (c / 2) in
+                let parent = M.get pslot in
+                if Intf.Value.le_elt Ord.compare (node_value parent) hd then begin
+                  if not (M.dcss pslot parent cslot cur fresh) then
+                    attempt (tries - 1)
+                end
+                else attempt (tries - 1)
+              end
+            end
+            else attempt (tries - 1)
+          end
+        in
+        attempt 4
+
+  (* ----- extraction ----- *)
+
+  let rec extract_min t =
+    let slot = T.get t.tree 1 in
+    let root = M.get slot in
+    if root.dirty then begin
+      (* An extraction is mid-flight; help restore the property (L24–L26). *)
+      moundify t 1;
+      extract_min t
+    end
+    else
+      match root.list with
+      | [] -> None (* L27: linearizes at the root READ *)
+      | hd :: tl ->
+          if M.cas slot root { list = tl; dirty = true; seq = root.seq + 1 }
+          then begin
+            moundify t 1;
+            Some hd
+          end
+          else extract_min t
+
+  (** Take the root's whole sorted list in one linearizable step (§V):
+      the same protocol as [extract_min], with the list emptied rather
+      than beheaded. *)
+  let rec extract_many t =
+    let slot = T.get t.tree 1 in
+    let root = M.get slot in
+    if root.dirty then begin
+      moundify t 1;
+      extract_many t
+    end
+    else
+      match root.list with
+      | [] -> []
+      | taken ->
+          if M.cas slot root { list = []; dirty = true; seq = root.seq + 1 }
+          then begin
+            moundify t 1;
+            taken
+          end
+          else extract_many t
+
+  (** Probabilistic extract-min (§V): any non-dirty node is the root of a
+      sub-mound, so extracting from a random node within the first
+      [max_level+1] levels returns an element that is a minimum of that
+      sub-mound — probably close to the global minimum, at much lower
+      contention. Falls back to the exact operation when the probed node
+      is empty or stays contended. *)
+  let extract_approx ?(max_level = 2) t =
+    let d = T.depth t.tree in
+    let lvl = min max_level (d - 1) in
+    let span = (1 lsl (lvl + 1)) - 1 in
+    let n = 1 + R.rand_int span in
+    if n = 1 then extract_min t
+    else
+      let slot = T.get t.tree n in
+      let rec attempt tries =
+        if tries = 0 then extract_min t
+        else
+          let node = M.get slot in
+          if node.dirty then begin
+            moundify t n;
+            attempt (tries - 1)
+          end
+          else
+            match node.list with
+            | [] -> extract_min t
+            | hd :: tl ->
+                if
+                  M.cas slot node
+                    { list = tl; dirty = true; seq = node.seq + 1 }
+                then begin
+                  moundify t n;
+                  Some hd
+                end
+                else attempt (tries - 1)
+      in
+      attempt 4
+
+  let rec peek_min t =
+    let root = read t 1 in
+    if root.dirty then begin
+      moundify t 1;
+      peek_min t
+    end
+    else node_value root
+
+  let is_empty t = peek_min t = None
+
+  (* ----- quiescent introspection (stats, tests) ----- *)
+
+  let fold_nodes t f acc =
+    T.fold t.tree (fun acc i slot -> f acc i (M.get slot).list) acc
+
+  let size t = fold_nodes t (fun acc _ l -> acc + List.length l) 0
+
+  let rec list_sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Ord.compare a b <= 0 && list_sorted rest
+
+  (** Quiescent check of per-list sortedness and the (dirty-aware) mound
+      property of §II: a non-dirty parent dominates its children. *)
+  let check t =
+    fold_nodes t
+      (fun ok i l ->
+        ok && list_sorted l
+        &&
+        if i = 1 then true
+        else
+          let parent = read t (i / 2) in
+          parent.dirty
+          || Intf.Value.le Ord.compare (node_value parent)
+               (match l with [] -> None | x :: _ -> Some x))
+      true
+end

@@ -1,0 +1,59 @@
+(** Mounds: array-based concurrent priority queues.
+
+    A mound (Liu & Spear, ICPP 2012) is a rooted tree of sorted lists,
+    balanced by randomization, supporting O(log log N) [insert] and
+    O(log N) [extract_min]. This library provides the paper's three
+    variants plus its §V extensions ([extract_many], probabilistic
+    [extract_approx]):
+
+    - {!Seq}: sequential reference implementation;
+    - {!Lf}: lock-free, built on software DCAS/DCSS ({!Mcas});
+    - {!Lock}: fine-grained locking with hand-over-hand [moundify].
+
+    The concurrent variants are functors over {!Runtime.S}, so they run
+    both on real domains ([Runtime.Real]) and inside the virtual-time
+    simulator ([Sim.Runtime]). Pre-applied integer versions over the real
+    runtime are provided for the common case:
+
+    {[
+      let q = Mound.Lf_int.create () in
+      Mound.Lf_int.insert q 42;
+      assert (Mound.Lf_int.extract_min q = Some 42)
+    ]} *)
+
+module Intf = Intf
+module Tree = Tree
+module Stats = Stats
+
+module type ORDERED = Intf.ORDERED
+
+module Seq = Seq_mound
+module Lf = Lf_mound
+module Lock = Lock_mound
+
+(** Keyed priority map (decrease-key via lazy deletion) over the
+    sequential mound. *)
+module Keyed = Keyed
+
+module Int_ord = struct
+  type t = int
+
+  let compare = Int.compare
+end
+
+(** Sequential integer mound. *)
+module Seq_int = Seq_mound.Make (Int_ord)
+
+(** Lock-free integer mound on real domains. *)
+module Lf_int = Lf_mound.Make (Runtime.Real) (Int_ord)
+
+(** Fine-grained-locking integer mound on real domains. *)
+module Lock_int = Lock_mound.Make (Runtime.Real) (Int_ord)
+
+(* Compile-time conformance: every variant implements the documented
+   {!Intf.MOUND} interface, so they cannot drift apart. *)
+module type MOUND = Intf.MOUND
+
+module Check_seq : MOUND with type elt = int = Seq_int
+module Check_lf : MOUND with type elt = int = Lf_int
+module Check_lock : MOUND with type elt = int = Lock_int

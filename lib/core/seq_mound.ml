@@ -1,0 +1,157 @@
+(** Sequential mound.
+
+    The reference implementation: same tree of sorted lists, same
+    randomized leaf probing and binary-search insertion, same
+    sift-down-by-list-swap extraction as the concurrent variants, but with
+    plain mutable nodes and no dirty bits (the mound property is restored
+    before each operation returns). It serves three roles: the oracle in
+    tests, the engine for the paper's sequential structure experiments
+    (Tables I–IV), and the single-thread baseline in benches. *)
+
+module Make (Ord : Intf.ORDERED) = struct
+  module T = Tree.Make (Runtime.Real)
+
+  type elt = Ord.t
+
+  type node = { mutable list : elt list }
+
+  type t = { tree : node T.t; rng : Prng.t }
+
+  let vcompare = Intf.Value.compare Ord.compare
+
+  let node_value n = match n.list with [] -> None | x :: _ -> Some x
+
+  let create ?threshold ?init_depth ?(seed = 1L) () =
+    let rng = Prng.create seed in
+    let tree =
+      T.create ?threshold ?init_depth ~rand:(fun bound -> Prng.int rng bound)
+        (fun () -> { list = [] })
+    in
+    { tree; rng }
+
+  let depth t = T.depth t.tree
+
+  let value_at t i = node_value (T.get t.tree i)
+
+  let insert t v =
+    let ge i = Intf.Value.ge_elt Ord.compare (value_at t i) v in
+    let c = T.find_insert_point t.tree ~ge in
+    let node = T.get t.tree c in
+    node.list <- v :: node.list
+
+  (* Restore the mound property below node [n] by swapping lists with the
+     smaller child until the node dominates both children — the
+     sequential skeleton of the paper's moundify. *)
+  let rec moundify t n =
+    let d = T.depth t.tree in
+    if not (T.is_leaf n ~depth:d) then begin
+      let node = T.get t.tree n in
+      let left = T.get t.tree (2 * n) in
+      let right = T.get t.tree ((2 * n) + 1) in
+      let vn = node_value node
+      and vl = node_value left
+      and vr = node_value right in
+      if vcompare vl vr <= 0 && vcompare vl vn < 0 then begin
+        let tmp = node.list in
+        node.list <- left.list;
+        left.list <- tmp;
+        moundify t (2 * n)
+      end
+      else if vcompare vr vl < 0 && vcompare vr vn < 0 then begin
+        let tmp = node.list in
+        node.list <- right.list;
+        right.list <- tmp;
+        moundify t ((2 * n) + 1)
+      end
+    end
+
+  let extract_min t =
+    let root = T.get t.tree 1 in
+    match root.list with
+    | [] -> None
+    | hd :: tl ->
+        root.list <- tl;
+        moundify t 1;
+        Some hd
+
+  (** Insert a {e sorted} batch in one write where possible: the dual of
+      [extract_many], useful for returning unconsumed work to the pool.
+      A batch [b] can be spliced in front of a node [c]'s list whenever
+      [val(parent c) <= hd b] and [last b <= val(c)]; when the randomized
+      probing cannot find such a node (wide batches), the tail elements
+      fall back to element-wise insertion. *)
+  let insert_many t batch =
+    match batch with
+    | [] -> ()
+    | hd :: _ ->
+        let rec last = function
+          | [ x ] -> x
+          | _ :: rest -> last rest
+          | [] -> assert false
+        in
+        let lst = last batch in
+        let ge i = Intf.Value.ge_elt Ord.compare (value_at t i) lst in
+        let c = T.find_insert_point t.tree ~ge in
+        let node = T.get t.tree c in
+        let parent_ok =
+          c = 1 || Intf.Value.le_elt Ord.compare (value_at t (c / 2)) hd
+        in
+        if parent_ok then node.list <- batch @ node.list
+        else List.iter (insert t) batch
+
+  (** Take the root's entire sorted list in one operation (§V of the
+      paper). *)
+  let extract_many t =
+    let root = T.get t.tree 1 in
+    match root.list with
+    | [] -> []
+    | taken ->
+        root.list <- [];
+        moundify t 1;
+        taken
+
+  (** Extract from a random non-empty node within the first [max_level+1]
+      levels: the result is the minimum of the sub-mound rooted there, so
+      it is probably close to the global minimum (§V). Falls back to an
+      exact [extract_min] when the probe finds only empty nodes. *)
+  let extract_approx ?(max_level = 2) t =
+    let d = T.depth t.tree in
+    let lvl = min max_level (d - 1) in
+    let span = (1 lsl (lvl + 1)) - 1 in
+    let n = 1 + Prng.int t.rng span in
+    let node = T.get t.tree n in
+    match node.list with
+    | [] -> extract_min t
+    | hd :: tl ->
+        node.list <- tl;
+        moundify t n;
+        Some hd
+
+  let peek_min t = node_value (T.get t.tree 1)
+
+  let is_empty t = peek_min t = None
+
+  let fold_nodes t f acc = T.fold t.tree (fun acc i n -> f acc i n.list) acc
+
+  let size t = fold_nodes t (fun acc _ l -> acc + List.length l) 0
+
+  (* --- invariant checking (tests) --- *)
+
+  let rec list_sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Ord.compare a b <= 0 && list_sorted rest
+
+  (** The mound property plus per-node list sortedness, checked over the
+      whole tree. *)
+  let check t =
+    fold_nodes t
+      (fun ok i l ->
+        ok && list_sorted l
+        &&
+        if i = 1 then true
+        else
+          Intf.Value.le Ord.compare
+            (value_at t (i / 2))
+            (match l with [] -> None | x :: _ -> Some x))
+      true
+end

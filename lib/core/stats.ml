@@ -1,0 +1,106 @@
+(** Structure statistics for the paper's Tables I–IV.
+
+    All statistics are computed at quiescent points from a mound's
+    [fold_nodes] iteration (index and per-node sorted list). A level's
+    {e fullness} is the fraction of its nodes with a non-empty list —
+    Tables I–III report the levels that are not 100% full; Table IV
+    reports the average list length and average stored value per level. *)
+
+type level = {
+  level : int;
+  capacity : int;  (** 2^level nodes *)
+  nonempty : int;  (** nodes with a non-empty list *)
+  elements : int;  (** total elements stored on the level *)
+  value_sum : float;  (** sum of all stored values (via [to_float]) *)
+  longest_list : int;
+}
+
+type t = { levels : level array; depth : int }
+
+(** [compute ~iter ~to_float ()] walks the structure once.
+    [iter f] must call [f index list] for every allocated node. *)
+let compute ~iter ~to_float () =
+  let acc : (int, level) Hashtbl.t = Hashtbl.create 32 in
+  let level_of i =
+    let rec go l v = if v <= 1 then l else go (l + 1) (v lsr 1) in
+    go 0 i
+  in
+  let max_level = ref 0 in
+  iter (fun i list ->
+      let l = level_of i in
+      if l > !max_level then max_level := l;
+      let cur =
+        match Hashtbl.find_opt acc l with
+        | Some c -> c
+        | None ->
+            {
+              level = l;
+              capacity = 1 lsl l;
+              nonempty = 0;
+              elements = 0;
+              value_sum = 0.;
+              longest_list = 0;
+            }
+      in
+      let len = List.length list in
+      let sum = List.fold_left (fun s v -> s +. to_float v) 0. list in
+      Hashtbl.replace acc l
+        {
+          cur with
+          nonempty = (cur.nonempty + if len > 0 then 1 else 0);
+          elements = cur.elements + len;
+          value_sum = cur.value_sum +. sum;
+          longest_list = max cur.longest_list len;
+        });
+  let depth = !max_level + 1 in
+  let levels =
+    Array.init depth (fun l ->
+        match Hashtbl.find_opt acc l with
+        | Some c -> c
+        | None ->
+            {
+              level = l;
+              capacity = 1 lsl l;
+              nonempty = 0;
+              elements = 0;
+              value_sum = 0.;
+              longest_list = 0;
+            })
+  in
+  { levels; depth }
+
+let fullness lv = 100. *. float_of_int lv.nonempty /. float_of_int lv.capacity
+
+let avg_list_len lv =
+  if lv.nonempty = 0 then 0.
+  else float_of_int lv.elements /. float_of_int lv.capacity
+
+let avg_value lv =
+  if lv.elements = 0 then None
+  else Some (lv.value_sum /. float_of_int lv.elements)
+
+let total_elements t =
+  Array.fold_left (fun s lv -> s + lv.elements) 0 t.levels
+
+let longest_list t =
+  Array.fold_left (fun m lv -> max m lv.longest_list) 0 t.levels
+
+(** The levels that are not 100% full, as (level, fullness%) pairs — the
+    format of Tables I–III. Trailing all-empty levels are included only if
+    allocated and reached. *)
+let incomplete_levels t =
+  Array.to_list t.levels
+  |> List.filter_map (fun lv ->
+         if lv.nonempty < lv.capacity then Some (lv.level, fullness lv)
+         else None)
+
+(** Render [incomplete_levels] like the paper: "99.96% (17), 97.75% (18)".
+    Levels with zero occupancy are dropped. *)
+let pp_incomplete ppf t =
+  let items =
+    incomplete_levels t |> List.filter (fun (_, f) -> f > 0.)
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+    (fun ppf (l, f) -> Format.fprintf ppf "%.2f%% (%d)" f l)
+    ppf items

@@ -1,0 +1,121 @@
+(** Growable array-based complete binary tree shared by all mound
+    variants.
+
+    Mirrors the paper's implementation choice (§VI-A): instead of one flat
+    array, the tree is a fixed table of per-level rows, where row [l]
+    holds the 2^l nodes of level [l] and is allocated only when the mound
+    first reaches that depth. Indices are 1-based as in the paper: node
+    [i] has parent [i/2] and children [2i], [2i+1]; its level is
+    ⌊log₂ i⌋. Rows and the depth counter are atomics so the tree can grow
+    under concurrency: a row is published before the depth CAS that makes
+    it reachable.
+
+    The leaf-probing / binary-search logic of [findInsertPoint] (paper
+    Listing 2, L16–L21) lives here too, parameterized by how a node's
+    value is read, because it is identical across the lock-free, locking
+    and sequential variants — it performs only reads plus the
+    depth-expansion CAS. *)
+
+module Make (R : Runtime.S) = struct
+  (* 2^30 nodes at the deepest level is already beyond feasible memory;
+     the cap exists to bound the rows table, not as a realistic limit. *)
+  let max_levels = 30
+
+  type 'slot t = {
+    rows : 'slot array option R.Atomic.t array;
+    depth : int R.Atomic.t;
+    make_slot : unit -> 'slot;
+    threshold : int;
+    rand : int -> int;  (* thread-safe source of random leaf offsets *)
+  }
+
+  let level_of i =
+    let rec go l v = if v <= 1 then l else go (l + 1) (v lsr 1) in
+    go 0 i
+
+  let create ?(threshold = Intf.default_threshold) ?(init_depth = 1)
+      ?(rand = R.rand_int) make_slot =
+    if init_depth < 1 || init_depth > max_levels then
+      invalid_arg "Mound.Tree.create: bad initial depth";
+    if threshold < 1 then invalid_arg "Mound.Tree.create: bad threshold";
+    let rows =
+      Array.init max_levels (fun l ->
+          if l < init_depth then
+            R.Atomic.make (Some (Array.init (1 lsl l) (fun _ -> make_slot ())))
+          else R.Atomic.make None)
+    in
+    { rows; depth = R.Atomic.make init_depth; make_slot; threshold; rand }
+
+  let depth t = R.Atomic.get t.depth
+
+  (** [get t i] is the slot of node [i] (1-based). The row must have been
+      published, which holds for any index derived from a read of
+      [depth]. *)
+  let get t i =
+    let l = level_of i in
+    match R.Atomic.get t.rows.(l) with
+    | Some row -> row.(i - (1 lsl l))
+    | None -> invalid_arg "Mound.Tree.get: unallocated level"
+
+  (* Publish row [d] (the new leaf level) if needed, then try to advance
+     the depth. Failure of either CAS means another thread did the same
+     work, which is all the caller needs. *)
+  let expand t d =
+    if d >= max_levels then failwith "Mound.Tree.expand: tree is full";
+    (match R.Atomic.get t.rows.(d) with
+    | Some _ -> ()
+    | None ->
+        let row = Array.init (1 lsl d) (fun _ -> t.make_slot ()) in
+        ignore (R.Atomic.compare_and_set t.rows.(d) None (Some row)));
+    ignore (R.Atomic.compare_and_set t.depth d (d + 1))
+
+  (* Binary search along the ancestor chain of [leaf] (depth [d] levels)
+     for the shallowest node whose value dominates [v] — O(log log N)
+     probes since the chain has length ⌊log₂ N⌋. Precondition: [ge] holds
+     at the leaf itself. Under concurrency the chain may momentarily not
+     be sorted; the caller re-validates before writing. *)
+  let binary_search ~ge leaf d =
+    let lo = ref 0 and hi = ref (d - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if ge (leaf lsr (d - 1 - mid)) then hi := mid else lo := mid + 1
+    done;
+    leaf lsr (d - 1 - !lo)
+
+  (** [find_insert_point t ~ge] probes up to [t.threshold] random leaves
+      for one whose value dominates the element being inserted ([ge i]
+      must be [val(node i) >= v]), then binary-searches its ancestor chain
+      for the candidate insertion point. If every probe fails, the tree is
+      one level too shallow for this element and is expanded. *)
+  let rec find_insert_point t ~ge =
+    let d = R.Atomic.get t.depth in
+    let first_leaf = 1 lsl (d - 1) in
+    let rec attempts k =
+      if k = 0 then None
+      else
+        let leaf = first_leaf + t.rand first_leaf in
+        if ge leaf then Some leaf else attempts (k - 1)
+    in
+    match attempts t.threshold with
+    | Some leaf -> binary_search ~ge leaf d
+    | None ->
+        expand t d;
+        find_insert_point t ~ge
+
+  (** [is_leaf t i ~depth:d] — is [i] on the deepest level of a tree of
+      depth [d]? *)
+  let is_leaf i ~depth:d = i land (1 lsl (d - 1)) <> 0 && i < 1 lsl d
+
+  (** Quiescent fold over all allocated slots in index order, with the
+      node index. Not linearizable; meant for statistics and tests. *)
+  let fold t f acc =
+    let d = R.Atomic.get t.depth in
+    let acc = ref acc in
+    for l = 0 to d - 1 do
+      match R.Atomic.get t.rows.(l) with
+      | None -> ()
+      | Some row ->
+          Array.iteri (fun j slot -> acc := f !acc ((1 lsl l) + j) slot) row
+    done;
+    !acc
+end

@@ -1,0 +1,13 @@
+(** Sense-reversing spin barrier for real-domain experiments: all
+    measurement threads block until everyone arrives, so timed regions
+    start together. Reusable across rounds. *)
+
+type t
+
+val create : int -> t
+(** [create parties] — barrier for [parties] threads.
+    @raise Invalid_argument if [parties < 1]. *)
+
+val wait : t -> unit
+(** Block until all parties arrive; the last arrival releases everyone
+    and resets the barrier for reuse. *)

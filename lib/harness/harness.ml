@@ -1,0 +1,25 @@
+(** Experiment harness: everything needed to regenerate the paper's
+    evaluation.
+
+    - {!Tables}: the sequential structure experiments (Tables I–IV);
+    - {!Fig2}: the throughput-versus-threads panels (Fig. 2), run on the
+      virtual-time simulator under the [niagara2] and [x86] machine
+      profiles;
+    - {!Ablation}: THRESHOLD sweep, k-CSS vs DCSS insert, probabilistic
+      extract-min quality, and per-operation synchronization-cost
+      accounting;
+    - {!Sim_exp} / {!Real_exp}: the underlying drivers (simulator /
+      real domains);
+    - {!Pq}: uniform handles over every priority-queue implementation;
+    - {!Workload}: panel and key-order definitions;
+    - {!Barrier}: start-line synchronization for real-domain runs. *)
+
+module Barrier = Barrier
+module Pq = Pq
+module Workload = Workload
+module Sim_exp = Sim_exp
+module Real_exp = Real_exp
+module Tables = Tables
+module Fig2 = Fig2
+module Ablation = Ablation
+module Lin = Lin

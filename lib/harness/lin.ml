@@ -1,0 +1,84 @@
+(** Linearizability checking of priority-queue histories.
+
+    A history is a set of operations with invocation/response timestamps
+    taken from the simulator's virtual clock. The checker is the classic
+    Wing & Gong search: repeatedly pick an operation that no other pending
+    operation strictly precedes (its response before the candidate's
+    invocation), apply it to a sequential sorted-multiset model, and
+    recurse; memoizing on the set of applied operations keeps the search
+    tractable in practice (the model state is a function of that set,
+    because each extract's return value is fixed by the history). *)
+
+type op = Ins of int | Ext of int option
+
+type event = { inv : int; resp : int; op : op }
+
+(** Record one thread's operations against a [Harness.Pq.t] inside a
+    simulation; returns the thread body and a closure to collect events
+    after the run. *)
+let recorder (q : Pq.t) script =
+  let events = ref [] in
+  let body =
+    List.iter (fun action ->
+        let inv = Sim.Sched.now () in
+        let op =
+          match action with
+          | `Insert v ->
+              q.insert v;
+              Ins v
+          | `Extract -> Ext (q.extract_min ())
+        in
+        let resp = Sim.Sched.now () in
+        events := { inv; resp; op } :: !events)
+  in
+  ((fun () -> body script), fun () -> !events)
+
+exception Too_large
+
+(** [check events] — is the history linearizable with respect to a
+    priority queue initially holding [init]? At most 62 events. *)
+let check ?(init = []) events =
+  let events = Array.of_list events in
+  let n = Array.length events in
+  if n > 62 then raise Too_large;
+  let visited = Hashtbl.create 1024 in
+  (* model is an ascending list *)
+  let rec insert_sorted v = function
+    | [] -> [ v ]
+    | x :: rest as l -> if v <= x then v :: l else x :: insert_sorted v rest
+  in
+  let apply model = function
+    | Ins v -> Some (insert_sorted v model)
+    | Ext None -> if model = [] then Some [] else None
+    | Ext (Some v) -> (
+        match model with m :: rest when m = v -> Some rest | _ -> None)
+  in
+  let rec explore done_mask model =
+    if done_mask = (1 lsl n) - 1 then true
+    else if Hashtbl.mem visited done_mask then false
+    else begin
+      let ok = ref false in
+      let i = ref 0 in
+      while (not !ok) && !i < n do
+        let e = events.(!i) in
+        if done_mask land (1 lsl !i) = 0 then begin
+          (* e may be linearized next iff no other pending op finished
+             strictly before e began *)
+          let preceded = ref false in
+          for j = 0 to n - 1 do
+            if j <> !i && done_mask land (1 lsl j) = 0 then
+              if events.(j).resp < e.inv then preceded := true
+          done;
+          if not !preceded then
+            match apply model e.op with
+            | Some model' ->
+                if explore (done_mask lor (1 lsl !i)) model' then ok := true
+            | None -> ()
+        end;
+        incr i
+      done;
+      if not !ok then Hashtbl.add visited done_mask ();
+      !ok
+    end
+  in
+  explore 0 (List.sort compare init)

@@ -1,0 +1,157 @@
+(** First-class priority-queue handles, so the experiment drivers can
+    treat every structure uniformly.
+
+    [Of_runtime] instantiates the whole menagerie over one runtime; the
+    two instances used everywhere are {!On_real} (OCaml domains) and
+    {!On_sim} (the virtual-time simulator). Keys are [int], as in the
+    paper's microbenchmarks. *)
+
+type t = {
+  name : string;
+  insert : int -> unit;
+  extract_min : unit -> int option;
+  extract_many : unit -> int list;
+      (** structures without a native extract-many degrade to a singleton
+          [extract_min] *)
+  size : unit -> int;
+  check : unit -> bool;  (** quiescent invariant check *)
+}
+
+type maker = { make : capacity:int -> t }
+
+module Of_runtime (R : Runtime.S) = struct
+  module Lf = Mound.Lf.Make (R) (Mound.Int_ord)
+  module Lock = Mound.Lock.Make (R) (Mound.Int_ord)
+  module Hunt = Baselines.Hunt_heap.Make (R) (Mound.Int_ord)
+  module Sl = Baselines.Skiplist_pq.Make (R) (Mound.Int_ord)
+  module Coarse = Baselines.Coarse_heap.Make (R) (Mound.Int_ord)
+
+  let mound_lock =
+    {
+      make =
+        (fun ~capacity:_ ->
+          let q = Lock.create () in
+          {
+            name = "Mound (Lock)";
+            insert = Lock.insert q;
+            extract_min = (fun () -> Lock.extract_min q);
+            extract_many = (fun () -> Lock.extract_many q);
+            size = (fun () -> Lock.size q);
+            check = (fun () -> Lock.check q);
+          });
+    }
+
+  let mound_lf =
+    {
+      make =
+        (fun ~capacity:_ ->
+          let q = Lf.create () in
+          {
+            name = "Mound (LF)";
+            insert = Lf.insert q;
+            extract_min = (fun () -> Lf.extract_min q);
+            extract_many = (fun () -> Lf.extract_many q);
+            size = (fun () -> Lf.size q);
+            check = (fun () -> Lf.check q);
+          });
+    }
+
+  let hunt =
+    {
+      make =
+        (fun ~capacity ->
+          let q = Hunt.create ~capacity () in
+          let extract_min () = Hunt.extract_min q in
+          {
+            name = "Hunt Heap (Lock)";
+            insert = Hunt.insert q;
+            extract_min;
+            extract_many =
+              (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
+            size = (fun () -> Hunt.size q);
+            check = (fun () -> Hunt.check q);
+          });
+    }
+
+  let skiplist =
+    {
+      make =
+        (fun ~capacity:_ ->
+          let q = Sl.create () in
+          let extract_min () = Sl.extract_min q in
+          {
+            name = "Skip List (QC)";
+            insert = Sl.insert q;
+            extract_min;
+            extract_many =
+              (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
+            size = (fun () -> Sl.size q);
+            check = (fun () -> Sl.check q);
+          });
+    }
+
+  module Sl_lock = Baselines.Skiplist_lock_pq.Make (R) (Mound.Int_ord)
+
+  let skiplist_lock =
+    {
+      make =
+        (fun ~capacity:_ ->
+          let q = Sl_lock.create () in
+          let extract_min () = Sl_lock.extract_min q in
+          {
+            name = "Skip List (Lock)";
+            insert = Sl_lock.insert q;
+            extract_min;
+            extract_many =
+              (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
+            size = (fun () -> Sl_lock.size q);
+            check = (fun () -> Sl_lock.check q);
+          });
+    }
+
+  module Stm_h = Baselines.Stm_heap.Make (R)
+
+  let stm_heap =
+    {
+      make =
+        (fun ~capacity ->
+          let q = Stm_h.create ~capacity () in
+          let extract_min () = Stm_h.extract_min q in
+          {
+            name = "STM Heap";
+            insert = Stm_h.insert q;
+            extract_min;
+            extract_many =
+              (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
+            size = (fun () -> Stm_h.size q);
+            check = (fun () -> Stm_h.check q);
+          });
+    }
+
+  let coarse =
+    {
+      make =
+        (fun ~capacity ->
+          let q = Coarse.create ~capacity () in
+          let extract_min () = Coarse.extract_min q in
+          {
+            name = "Coarse Heap";
+            insert = Coarse.insert q;
+            extract_min;
+            extract_many =
+              (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
+            size = (fun () -> Coarse.size q);
+            check = (fun () -> Coarse.check q);
+          });
+    }
+
+  (** The four structures of the paper's Fig. 2, in its legend order. *)
+  let paper_set = [ mound_lock; mound_lf; hunt; skiplist ]
+
+  (** Paper set plus the coarse-lock, STM-heap and lock-based-skiplist
+      ablations. *)
+  let extended_set = paper_set @ [ coarse; stm_heap; skiplist_lock ]
+end
+
+module On_real = Of_runtime (Runtime.Real)
+module On_sim = Of_runtime (Sim.Runtime)

@@ -1,0 +1,43 @@
+(** First-class priority-queue handles, so the experiment drivers can
+    treat every structure uniformly. Keys are [int], as in the paper's
+    microbenchmarks. *)
+
+type t = {
+  name : string;  (** display name, matching the paper's Fig. 2 legend *)
+  insert : int -> unit;
+  extract_min : unit -> int option;
+  extract_many : unit -> int list;
+      (** structures without a native extract-many degrade to a singleton
+          [extract_min] *)
+  size : unit -> int;  (** quiescent element count *)
+  check : unit -> bool;  (** quiescent invariant check *)
+}
+
+type maker = { make : capacity:int -> t }
+(** Deferred constructor; [capacity] bounds the fixed-size array
+    structures (Hunt heap, STM heap, coarse heap) and is ignored by the
+    unbounded ones. *)
+
+(** Every structure instantiated over one runtime. *)
+module Of_runtime (_ : Runtime.S) : sig
+  val mound_lock : maker
+  val mound_lf : maker
+  val hunt : maker
+  val skiplist : maker
+  val skiplist_lock : maker
+  val stm_heap : maker
+  val coarse : maker
+
+  val paper_set : maker list
+  (** The four structures of the paper's Fig. 2, in its legend order. *)
+
+  val extended_set : maker list
+  (** [paper_set] plus the coarse-lock, STM-heap and lock-based-skiplist
+      ablations. *)
+end
+
+(** On real OCaml domains. *)
+module On_real : module type of Of_runtime (Runtime.Real)
+
+(** On the virtual-time simulator. *)
+module On_sim : module type of Of_runtime (Sim.Runtime)

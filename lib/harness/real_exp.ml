@@ -1,0 +1,70 @@
+(** Fig. 2 experiment driver on real OCaml domains.
+
+    Same workloads as {!Sim_exp}, measured in wall-clock time with a
+    barrier-synchronized start. On the reproduction container (a single
+    CPU core) these numbers demonstrate correctness under true preemptive
+    concurrency and give single-thread baselines; the scalability shapes
+    come from the simulator (see DESIGN.md §3). *)
+
+type point = { threads : int; throughput : float; seconds : float; ops : int }
+
+type series = { structure : string; points : point list }
+
+let populate (q : Pq.t) n ~seed =
+  let rng = Prng.create (Int64.add seed 17L) in
+  for _ = 1 to n do
+    q.insert (Prng.int rng Workload.key_range)
+  done
+
+let run_cell ?(seed = 7L) ~panel ~threads ~ops_per_thread ~init_size
+    (maker : Pq.maker) =
+  let q =
+    maker.make
+      ~capacity:
+        (Sim_exp.capacity_for ~panel ~threads ~ops_per_thread ~init_size)
+  in
+  (match (panel : Workload.panel) with
+  | Insert -> ()
+  | Extract -> populate q (threads * ops_per_thread) ~seed
+  | Mixed | Extract_many -> populate q init_size ~seed);
+  let barrier = Barrier.create (threads + 1) in
+  let counts = Array.make threads 0 in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let rng = Prng.for_thread ~seed ~id:tid in
+            Barrier.wait barrier;
+            counts.(tid) <-
+              Workload.run_thread ~panel ~q
+                ~rand:(fun b -> Prng.int rng b)
+                ~ops:ops_per_thread ()))
+  in
+  Barrier.wait barrier;
+  let t0 = Unix.gettimeofday () in
+  Array.iter Domain.join domains;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let ops = Array.fold_left ( + ) 0 counts in
+  {
+    threads;
+    throughput = (if seconds > 0. then float_of_int ops /. seconds else 0.);
+    seconds;
+    ops;
+  }
+
+let run_series ?seed ~panel ~thread_counts ~ops_per_thread ~init_size
+    (maker : Pq.maker) =
+  let name = (maker.make ~capacity:16).name in
+  {
+    structure = name;
+    points =
+      List.map
+        (fun threads ->
+          run_cell ?seed ~panel ~threads ~ops_per_thread ~init_size maker)
+        thread_counts;
+  }
+
+let run_panel ?seed ~panel ~thread_counts ~ops_per_thread ~init_size makers =
+  List.map
+    (fun m ->
+      run_series ?seed ~panel ~thread_counts ~ops_per_thread ~init_size m)
+    makers

@@ -1,0 +1,41 @@
+(** Fig. 2 experiment driver on real OCaml domains: the same workloads as
+    {!Sim_exp}, measured in wall-clock time with a barrier-synchronized
+    start. On a single-core host the curves demonstrate correctness under
+    true preemption and provide single-thread baselines; scalability
+    shapes come from the simulator (DESIGN.md §3). *)
+
+type point = {
+  threads : int;
+  throughput : float;  (** operations per second, wall clock *)
+  seconds : float;
+  ops : int;
+}
+
+type series = { structure : string; points : point list }
+
+val run_cell :
+  ?seed:int64 ->
+  panel:Workload.panel ->
+  threads:int ->
+  ops_per_thread:int ->
+  init_size:int ->
+  Pq.maker ->
+  point
+
+val run_series :
+  ?seed:int64 ->
+  panel:Workload.panel ->
+  thread_counts:int list ->
+  ops_per_thread:int ->
+  init_size:int ->
+  Pq.maker ->
+  series
+
+val run_panel :
+  ?seed:int64 ->
+  panel:Workload.panel ->
+  thread_counts:int list ->
+  ops_per_thread:int ->
+  init_size:int ->
+  Pq.maker list ->
+  series list

@@ -1,0 +1,85 @@
+(** Workload definitions shared by the simulator and real-domain drivers.
+
+    The four panels of the paper's Fig. 2 (§VI-C..F), plus key-order
+    generators for the sequential structure experiments (Tables I–III). *)
+
+type panel = Insert | Extract | Mixed | Extract_many
+
+let panel_name = function
+  | Insert -> "insert"
+  | Extract -> "extractmin"
+  | Mixed -> "mixed"
+  | Extract_many -> "extractmany"
+
+let panel_of_string = function
+  | "insert" -> Some Insert
+  | "extractmin" | "extract" -> Some Extract
+  | "mixed" -> Some Mixed
+  | "extractmany" | "extract-many" -> Some Extract_many
+  | _ -> None
+
+(** Key range for random keys; a wide range keeps accidental duplicates
+    rare, as in the paper's "randomly selected values". *)
+let key_range = 1 lsl 30
+
+(** Insertion orders for the randomization experiments (Table I–III):
+    [Random] is the average case, [Increasing] the worst (every list has
+    one element), [Decreasing] the best (the mound degenerates to one
+    sorted list at the root). *)
+type order = Random_order | Increasing | Decreasing
+
+let order_name = function
+  | Random_order -> "Random"
+  | Increasing -> "Increasing"
+  | Decreasing -> "Decreasing"
+
+(** [keys ~order ~n ~seed] materializes an insertion sequence. *)
+let keys ~order ~n ~seed =
+  match order with
+  | Increasing -> Array.init n (fun i -> i)
+  | Decreasing -> Array.init n (fun i -> n - 1 - i)
+  | Random_order ->
+      let rng = Prng.create seed in
+      Array.init n (fun _ -> Prng.int rng key_range)
+
+(** One thread's share of a panel. [rand] must be the executing thread's
+    own generator; [ops] is the operation budget. Returns the number of
+    {e elements} processed (for [Extract_many], calls can cover many
+    elements; for the others it equals completed operations). *)
+let run_thread ~(panel : panel) ~(q : Pq.t) ~rand ~ops () =
+  match panel with
+  | Insert ->
+      for _ = 1 to ops do
+        q.insert (rand key_range)
+      done;
+      ops
+  | Extract ->
+      let done_ = ref 0 in
+      for _ = 1 to ops do
+        match q.extract_min () with Some _ -> incr done_ | None -> ()
+      done;
+      !done_
+  | Mixed ->
+      let done_ = ref 0 in
+      for _ = 1 to ops do
+        if rand 2 = 0 then begin
+          q.insert (rand key_range);
+          incr done_
+        end
+        else
+          match q.extract_min () with
+          | Some _ -> incr done_
+          | None -> incr done_ (* an empty extract is still an operation *)
+      done;
+      !done_
+  | Extract_many ->
+      let got = ref 0 in
+      let rec drain () =
+        match q.extract_many () with
+        | [] -> ()
+        | l ->
+            got := !got + List.length l;
+            drain ()
+      in
+      drain ();
+      !got

@@ -1,0 +1,185 @@
+(** Software multi-word compare-and-swap.
+
+    This is the synchronization substrate the paper's lock-free mound
+    stands on: commodity hardware (and OCaml's [Atomic]) provides only
+    single-word CAS, while Listing 2 of the paper needs DCAS and DCSS. We
+    follow the same construction the paper uses — Harris, Fraser & Pratt,
+    "A Practical Multi-Word Compare-and-Swap Operation" (DISC 2002):
+
+    - a {e location} ({!Make.loc}) holds either a plain value or a
+      descriptor left by an in-progress operation;
+    - RDCSS (restricted double-compare single-swap) conditionally installs
+      a CASN descriptor into one location, guarded by the operation's
+      status word;
+    - CASN installs descriptors into all locations in a global allocation
+      order (for lock-freedom), decides the status with a single CAS, and
+      writes back final values. Any thread that encounters a descriptor
+      helps the operation to completion, so the construction is lock-free:
+      a thread can only be delayed by another thread making progress.
+
+    Cost structure matters for the evaluation: a DCAS here issues roughly
+    five CASes on the uncontended path (two RDCSS installs at two CASes
+    each, one status decision) plus two write-back CASes — the "5 CAS per
+    DCAS" the paper's §IV compares against fine-grained locking.
+
+    Equality is {e physical} ([==]), as in [Stdlib.Atomic]: users are
+    expected to store freshly allocated immutable records, which is also
+    what rules out ABA without the paper's version counters. *)
+
+(** Operation statuses are immediate constructors, so physical equality on
+    them is value equality. *)
+type status = Undecided | Succeeded | Failed
+
+module Make (A : Runtime.ATOMIC) = struct
+  type 'a state =
+    | V of 'a
+    | R of 'a rdcss_desc
+    | C of 'a casn_desc
+
+  (* Descriptors carry [as_state], the exact wrapper block that gets
+     installed into locations. CASes that install or remove a descriptor
+     must compare against that one block — a freshly allocated [R rd] or
+     [C d] would never be physically equal to what is in the location. *)
+  and 'a casn_desc = {
+    status : status A.t;
+    ops : ('a loc * 'a * 'a) array;
+    c_state : 'a state;
+  }
+
+  and 'a rdcss_desc = {
+    casn : 'a casn_desc;
+    loc : 'a loc;
+    exp : 'a;
+    r_state : 'a state;
+  }
+
+  and 'a loc = { st : 'a state A.t; id : int }
+
+  let make_casn_desc status ops =
+    let rec d = { status; ops; c_state = C d } in
+    d
+
+  let make_rdcss_desc casn loc exp =
+    let rec rd = { casn; loc; exp; r_state = R rd } in
+    rd
+
+  (* Allocation order for descriptor installation. Uses the host atomic
+     directly (not [A]): location creation is setup, not part of any
+     simulated algorithm's hot path. *)
+  let next_id = Stdlib.Atomic.make 0
+
+  let make v = { st = A.make (V v); id = Stdlib.Atomic.fetch_and_add next_id 1 }
+
+  (* Resolve an RDCSS descriptor found in [rd.loc]: install the CASN
+     descriptor if its status is still undecided, otherwise restore the
+     expected value. Every thread that sees the descriptor performs this
+     same CAS, so exactly one takes effect. *)
+  let rdcss_complete rd =
+    let installed =
+      if A.get rd.casn.status == Undecided then rd.casn.c_state else V rd.exp
+    in
+    ignore (A.compare_and_set rd.loc.st rd.r_state installed)
+
+  (* Attempt to replace [V rd.exp] in [rd.loc] by the CASN descriptor,
+     provided the status is still undecided. Returns the state that ruled
+     the attempt: [V v] with [v == rd.exp] means the descriptor was (or no
+     longer needed to be) installed; anything else is what the caller must
+     deal with. *)
+  let rec rdcss rd =
+    let cur = A.get rd.loc.st in
+    match cur with
+    | R other ->
+        rdcss_complete other;
+        rdcss rd
+    | V v when v == rd.exp ->
+        if A.compare_and_set rd.loc.st cur rd.r_state then begin
+          rdcss_complete rd;
+          cur
+        end
+        else rdcss rd
+    | V _ | C _ -> cur
+
+  let rec casn_help (d : 'a casn_desc) : bool =
+    let nops = Array.length d.ops in
+    (* Phase 1: install the descriptor into every location, helping any
+       other CASN we trip over. Since all operations install in increasing
+       location id order, the one with the smallest conflicting location
+       wins and the system as a whole makes progress. *)
+    let rec install i =
+      if i >= nops then Succeeded
+      else
+        let loc, exp, _ = d.ops.(i) in
+        match rdcss (make_rdcss_desc d loc exp) with
+        | C d' when d' == d -> install (i + 1)
+        | C d' ->
+            ignore (casn_help d');
+            install i
+        | V v when v == exp -> install (i + 1)
+        | V _ -> Failed
+        | R _ -> assert false
+    in
+    let outcome =
+      if A.get d.status == Undecided then install 0 else A.get d.status
+    in
+    if A.get d.status == Undecided then
+      ignore (A.compare_and_set d.status Undecided outcome);
+    let success = A.get d.status == Succeeded in
+    (* Phase 2: write back. Failed helpers' CASes fail harmlessly. *)
+    Array.iter
+      (fun (loc, exp, n) ->
+        ignore
+          (A.compare_and_set loc.st d.c_state
+             (V (if success then n else exp))))
+      d.ops;
+    success
+
+  let rec get loc =
+    match A.get loc.st with
+    | V v -> v
+    | R rd ->
+        rdcss_complete rd;
+        get loc
+    | C d ->
+        ignore (casn_help d);
+        get loc
+
+  (** Unconditional store. Only safe when no concurrent operation can hold
+      a descriptor in [loc] (initialization, quiescent phases). *)
+  let set loc v = A.set loc.st (V v)
+
+  let rec cas loc exp v =
+    let cur = A.get loc.st in
+    match cur with
+    | V x when x == exp ->
+        if A.compare_and_set loc.st cur (V v) then true else cas loc exp v
+    | V _ -> false
+    | R rd ->
+        rdcss_complete rd;
+        cas loc exp v
+    | C d ->
+        ignore (casn_help d);
+        cas loc exp v
+
+  (** [casn ops] atomically: checks that every [(loc, exp, _)] holds [exp]
+      (physically) and, if all do, stores each new value. Locations must
+      be distinct. *)
+  let casn ops =
+    match Array.length ops with
+    | 0 -> true
+    | 1 ->
+        let loc, exp, n = ops.(0) in
+        cas loc exp n
+    | _ ->
+        let ops = Array.copy ops in
+        Array.sort (fun (a, _, _) (b, _, _) -> compare a.id b.id) ops;
+        casn_help (make_casn_desc (A.make Undecided) ops)
+
+  (** Double compare-and-swap over two distinct locations. *)
+  let dcas l1 e1 n1 l2 e2 n2 = casn [| (l1, e1, n1); (l2, e2, n2) |]
+
+  (** Double-compare single-swap: writes [l2 <- n2] only if [l1] holds
+      [e1] and [l2] holds [e2]. Implemented with a DCAS whose first leg
+      rewrites [e1] to itself, exactly as the paper's implementation
+      chooses to (§VI-A). *)
+  let dcss l1 e1 l2 e2 n2 = casn [| (l1, e1, e1); (l2, e2, n2) |]
+end

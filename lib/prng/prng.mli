@@ -1,0 +1,31 @@
+module Splitmix64 = Splitmix64
+module Xoshiro256 = Xoshiro256
+
+(** Convenience front-end over the generators in this library.
+
+    [Prng.t] is the generator type the rest of the repository passes
+    around; today it is xoshiro256**, and the alias keeps that choice in
+    one place. *)
+
+type t = Xoshiro256.t
+
+val create : int64 -> t
+(** [create seed] — see {!Xoshiro256.create}. *)
+
+val for_thread : seed:int64 -> id:int -> t
+(** [for_thread ~seed ~id] derives a stream for thread [id] that is
+    deterministic in [(seed, id)] and statistically independent of every
+    other thread's stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in t ~lo ~hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val bool : t -> bool
+
+val int64 : t -> int64
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

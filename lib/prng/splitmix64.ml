@@ -1,0 +1,23 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* The mix function from the reference implementation: two xor-shift
+   multiplies that turn the weak counter sequence into 64 well-mixed bits. *)
+let next t =
+  let z = Int64.add t.state golden_gamma in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Splitmix64.next_int: bound must be positive";
+  (* Take the top bits (best mixed) and reduce by modulo; the modulo bias is
+     at most [bound]/2^62, far below anything observable in our uses. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  bits mod bound

@@ -1,0 +1,24 @@
+(** SplitMix64 pseudo-random number generator (Steele, Lea & Flood 2014).
+
+    A tiny, fast, full-period generator over a 64-bit state. Its main role
+    here is seeding: {!Xoshiro256} states are expanded from a single seed
+    through SplitMix64, as its authors recommend, which guarantees distinct,
+    well-mixed states for every simulated or real thread. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a generator whose stream is a pure function of
+    [seed]. Any seed, including [0L], is acceptable. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will produce the same future
+    stream as [t]. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] is uniform in [\[0, bound)]. [bound] must be
+    positive. *)

@@ -1,0 +1,74 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let of_state s0 s1 s2 s3 =
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    invalid_arg "Xoshiro256.of_state: all-zero state";
+  { s0; s1; s2; s3 }
+
+let create seed =
+  let sm = Splitmix64.create seed in
+  (* SplitMix64 output is equidistributed, so the all-zero state cannot
+     occur for any seed; no need to re-check. *)
+  let s0 = Splitmix64.next sm in
+  let s1 = Splitmix64.next sm in
+  let s2 = Splitmix64.next sm in
+  let s3 = Splitmix64.next sm in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tt = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (next t) 34)
+
+(* Unbiased bounded draw: reject draws from the incomplete final bucket of
+   the 2^61 range (61 bits so the range itself fits OCaml's 63-bit int).
+   The rejection probability is < bound/2^61, so the loop runs once in
+   practice. *)
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Xoshiro256.next_int: bound must be positive";
+  let range = 1 lsl 61 in
+  let limit = range - (range mod bound) in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 3) in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let jump_table = [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
+
+let jump t =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun word ->
+      for b = 0 to 63 do
+        if Int64.logand word (Int64.shift_left 1L b) <> 0L then begin
+          s0 := Int64.logxor !s0 t.s0;
+          s1 := Int64.logxor !s1 t.s1;
+          s2 := Int64.logxor !s2 t.s2;
+          s3 := Int64.logxor !s3 t.s3
+        end;
+        ignore (next t)
+      done)
+    jump_table;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3

@@ -1,0 +1,30 @@
+(** The real execution environment: OCaml 5 domains and [Stdlib.Atomic].
+
+    [rand_int] uses a domain-local xoshiro256** state derived from a global
+    seed and the domain id, so runs are reproducible when domains are
+    spawned deterministically. *)
+
+module Atomic = struct
+  type 'a t = 'a Stdlib.Atomic.t
+
+  let make = Stdlib.Atomic.make
+  let get = Stdlib.Atomic.get
+  let set = Stdlib.Atomic.set
+  let compare_and_set = Stdlib.Atomic.compare_and_set
+  let exchange = Stdlib.Atomic.exchange
+  let fetch_and_add = Stdlib.Atomic.fetch_and_add
+end
+
+let cpu_relax = Domain.cpu_relax
+
+let self () = (Domain.self () :> int)
+
+let seed = Stdlib.Atomic.make 0x5EED_0F_ACEDL
+
+let set_seed s = Stdlib.Atomic.set seed s
+
+let rng_key =
+  Domain.DLS.new_key (fun () ->
+      Prng.for_thread ~seed:(Stdlib.Atomic.get seed) ~id:(self ()))
+
+let rand_int bound = Prng.int (Domain.DLS.get rng_key) bound

@@ -1,0 +1,10 @@
+(** Execution-environment abstraction: see {!Intf} for the signatures and
+    {!Real} for the domains-and-atomics implementation. The simulator's
+    implementation lives in the [sim] library to keep this one
+    dependency-free. *)
+
+module Intf = Intf
+module Real = Real
+
+module type ATOMIC = Intf.ATOMIC
+module type S = Intf.S

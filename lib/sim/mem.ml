@@ -1,0 +1,81 @@
+(** Simulated atomic cells with cache-line ownership tracking.
+
+    Implements {!Runtime.ATOMIC}. Each cell models one cache line in a
+    MESI-like way: [owner] is the last writer, [readers] a bitmask of
+    threads holding a (shared) copy. A read hits if the thread already has
+    a copy; a write or CAS hits only if the thread owns the line
+    exclusively. Costs are charged through {!Sched.access}, which is also
+    the yield point that lets other simulated threads interleave. The
+    read-modify-write itself executes after the yield, atomically from the
+    point of view of other simulated threads, because the scheduler is
+    cooperative.
+
+    Outside a simulation the cells degrade to plain mutable refs, which
+    keeps unit tests of simulated structures runnable without a
+    scheduler. *)
+
+type 'a t = {
+  mutable value : 'a;
+  mutable owner : int;  (** last writer tid, or -1 *)
+  mutable readers : int64;  (** bitmask of tids with a shared copy *)
+}
+
+let bit tid = Int64.shift_left 1L tid
+
+let make v = { value = v; owner = -1; readers = 0L }
+
+let has_copy r tid =
+  r.owner = tid || Int64.logand r.readers (bit tid) <> 0L
+
+let owns_exclusively r tid =
+  r.owner = tid && Int64.logand r.readers (Int64.lognot (bit tid)) = 0L
+
+(* Accesses charge the hit cost up front (the yield point), then settle
+   the hit/miss difference at execution time, when the line's true state —
+   as left by every operation that executed earlier in virtual time — is
+   known. Determining hit/miss at issue time instead would consult stale
+   ownership: a peer's write that interleaves during our stall must count
+   as an invalidation. *)
+let charge_access kind r tid ~exclusive =
+  Sched.access kind ~hit:true;
+  let hit = if exclusive then owns_exclusively r tid else has_copy r tid in
+  if not hit then
+    Sched.work (Sched.access_cost kind ~hit:false - Sched.access_cost kind ~hit:true)
+
+let get r =
+  if Sched.active () then begin
+    let tid = Sched.tid () in
+    charge_access Read r tid ~exclusive:false;
+    r.readers <- Int64.logor r.readers (bit tid)
+  end;
+  r.value
+
+let acquire_exclusive kind r =
+  let tid = Sched.tid () in
+  charge_access kind r tid ~exclusive:true;
+  r.owner <- tid;
+  r.readers <- bit tid
+
+let set r v =
+  if Sched.active () then acquire_exclusive Write r;
+  r.value <- v
+
+let compare_and_set r expected v =
+  if Sched.active () then acquire_exclusive Cas r;
+  if r.value == expected then begin
+    r.value <- v;
+    true
+  end
+  else false
+
+let exchange r v =
+  if Sched.active () then acquire_exclusive Cas r;
+  let old = r.value in
+  r.value <- v;
+  old
+
+let fetch_and_add (r : int t) n =
+  if Sched.active () then acquire_exclusive Cas r;
+  let old = r.value in
+  r.value <- old + n;
+  old

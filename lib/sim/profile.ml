@@ -1,0 +1,131 @@
+(** Machine cost profiles for the virtual-time simulator.
+
+    A profile assigns a virtual-cycle cost to every kind of shared-memory
+    access, distinguishing cache hits from coherence misses, and describes
+    the machine's parallelism envelope (physical cores, hardware threads,
+    SMT slowdown, and the preemption behaviour once software threads
+    outnumber hardware threads). The two built-in profiles mirror the
+    paper's testbeds:
+
+    - {!niagara2}: Sun UltraSPARC T2 — 8 simple in-order cores, 8-way
+      fine-grained multithreading each (64 hardware threads), a shared L2
+      that also implements CAS (so even an uncontended CAS pays an
+      L2 round-trip), and a clock of 1.165 GHz.
+    - {!x86}: Intel Xeon X5650-class — 6 out-of-order cores, 2-way SMT
+      (12 hardware threads), a deep private-cache hierarchy (cheap hits,
+      expensive cross-core transfers, CAS cheap when the line is already
+      exclusive), 2.67 GHz.
+
+    The absolute numbers are rounded folklore latencies, not measurements;
+    what the reproduction relies on is their ordering (hit ≪ miss,
+    x86 local CAS ≪ Niagara2 CAS, x86 miss > Niagara2 miss relative to
+    hits), which is what shapes the paper's curves. *)
+
+type t = {
+  name : string;
+  cores : int;  (** physical cores *)
+  hw_threads : int;  (** hardware thread contexts (cores × SMT ways) *)
+  freq_ghz : float;  (** used only to convert virtual cycles to seconds *)
+  read_hit : int;
+  read_miss : int;  (** line last written by another thread *)
+  write_hit : int;  (** line already exclusively owned *)
+  write_miss : int;  (** needs invalidation / transfer *)
+  cas_hit : int;
+  cas_miss : int;
+  relax : int;  (** one [cpu_relax] pause *)
+  local_op : int;  (** generic local work charged per RNG draw etc. *)
+  smt_penalty : float;
+      (** extra per-op slowdown factor reached when all SMT contexts of
+          every core are busy (linearly interpolated from 0 as thread
+          count grows from [cores] to [hw_threads]) *)
+  quantum : int;
+      (** once threads > hw_threads: virtual cycles a thread runs before
+          the OS timeslices it out *)
+  stall : int;
+      (** base descheduling stall; scaled by the oversubscription ratio *)
+}
+
+let niagara2 =
+  {
+    name = "niagara2";
+    cores = 8;
+    hw_threads = 64;
+    freq_ghz = 1.165;
+    read_hit = 8;
+    read_miss = 42;
+    write_hit = 12;
+    write_miss = 48;
+    cas_hit = 46;
+    (* CAS executes in the shared L2 on this machine *)
+    cas_miss = 60;
+    relax = 12;
+    local_op = 6;
+    smt_penalty = 0.35;
+    quantum = 40_000;
+    stall = 150_000;
+  }
+
+let x86 =
+  {
+    name = "x86";
+    cores = 6;
+    hw_threads = 12;
+    freq_ghz = 2.67;
+    read_hit = 4;
+    read_miss = 90;
+    write_hit = 6;
+    write_miss = 110;
+    cas_hit = 22;
+    cas_miss = 130;
+    relax = 10;
+    local_op = 3;
+    smt_penalty = 0.30;
+    quantum = 40_000;
+    stall = 150_000;
+  }
+
+(* A frictionless profile: uniform small costs, no SMT or preemption
+   effects. Useful in tests, where only the interleaving semantics matter,
+   and as the "ideal machine" ablation in the benches. *)
+let uniform =
+  {
+    name = "uniform";
+    cores = 1024;
+    hw_threads = 1024;
+    freq_ghz = 1.0;
+    read_hit = 1;
+    read_miss = 1;
+    write_hit = 1;
+    write_miss = 1;
+    cas_hit = 1;
+    cas_miss = 1;
+    relax = 1;
+    local_op = 1;
+    smt_penalty = 0.0;
+    quantum = max_int;
+    stall = 0;
+  }
+
+let by_name = function
+  | "niagara2" -> Some niagara2
+  | "x86" -> Some x86
+  | "uniform" -> Some uniform
+  | _ -> None
+
+let all = [ niagara2; x86; uniform ]
+
+(** [load_factor p n] is the per-op cost multiplier when [n] software
+    threads run on profile [p]: 1 up to the core count, rising with SMT
+    sharing up to the hardware-thread count, then growing linearly with
+    oversubscription (pure timesharing). *)
+let load_factor p n =
+  if n <= p.cores then 1.0
+  else if n <= p.hw_threads then
+    let frac =
+      float_of_int (n - p.cores) /. float_of_int (max 1 (p.hw_threads - p.cores))
+    in
+    1.0 +. (p.smt_penalty *. frac)
+  else (1.0 +. p.smt_penalty) *. float_of_int n /. float_of_int p.hw_threads
+
+(** Convert a virtual-cycle count to seconds on this profile's clock. *)
+let seconds p cycles = float_of_int cycles /. (p.freq_ghz *. 1e9)

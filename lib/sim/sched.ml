@@ -1,0 +1,244 @@
+(** Deterministic virtual-time scheduler for simulated threads.
+
+    Each simulated thread is an effect-handler fiber. Shared-memory
+    operations (in {!Mem}) charge a cost taken from the machine
+    {!Profile} and perform the {!Yield} effect; the scheduler then always
+    resumes the runnable thread with the smallest virtual clock. Because
+    every shared access is a yield point, the execution is a sequentially
+    consistent interleaving ordered by virtual time, and phenomena like
+    failed-CAS retries, helping, lock convoys and cache-line ping-pong
+    surface as extra virtual cycles exactly where the algorithms generate
+    them.
+
+    The scheduler is strictly single-OS-thread and fully deterministic in
+    [(seed, thread bodies)]. At most one simulation can be active per
+    domain at a time. *)
+
+type access = Read | Write | Cas
+
+type thread = {
+  tid : int;
+  rng : Prng.t;
+  mutable clock : int;
+  mutable slice : int;
+  mutable yields : int;
+}
+
+type t = {
+  profile : Profile.t;
+  nthreads : int;
+  load : float;
+  oversubscribed : bool;
+  mutable reads : int;
+  mutable writes : int;
+  mutable cases : int;  (* CAS-class operations: cas/exchange/fetch_add *)
+}
+
+type result = {
+  span : int;  (** max final thread clock, in virtual cycles *)
+  clocks : int array;
+  yields : int;  (** total shared-memory events *)
+  reads : int;  (** shared reads issued *)
+  writes : int;  (** shared unconditional writes issued *)
+  cases : int;  (** CAS-class read-modify-writes issued *)
+}
+
+type _ Effect.t += Yield : unit Effect.t
+
+let active_sched : t option ref = ref None
+let active_thread : thread option ref = ref None
+
+let active () = !active_thread <> None
+
+(* Outside a simulation (setup/teardown code) there is exactly one caller,
+   the ambient thread; it reports id 0. *)
+let tid () = match !active_thread with Some th -> th.tid | None -> 0
+
+(** Virtual time of the calling thread. Event timestamps taken this way
+    are globally comparable, which is what the linearizability tests use
+    to build histories. *)
+let now () = match !active_thread with Some th -> th.clock | None -> 0
+
+(* Charge [cost] virtual cycles to the running thread, applying the load
+   factor and, when oversubscribed, periodic preemption stalls with a
+   deterministic pseudo-random jitter so threads do not stall in
+   lockstep. *)
+let local_charge sched th cost =
+  let cost = int_of_float ((float_of_int cost *. sched.load) +. 0.5) in
+  th.clock <- th.clock + cost;
+  if sched.oversubscribed then begin
+    th.slice <- th.slice + cost;
+    let p = sched.profile in
+    if th.slice >= p.quantum then begin
+      th.slice <- 0;
+      let over = sched.nthreads - p.hw_threads in
+      let stall = p.stall * over / p.hw_threads in
+      if stall > 0 then th.clock <- th.clock + stall + Prng.int th.rng stall
+    end
+  end
+
+let with_active f =
+  match (!active_sched, !active_thread) with
+  | Some sched, Some th -> f sched th
+  | _ -> ()
+
+(** Charge local work without giving up the processor. Safe for purely
+    thread-local computation: ordering of *shared* accesses is established
+    only at yield points, which every shared access goes through. *)
+let work cost = with_active (fun sched th -> local_charge sched th cost)
+
+(** Charge [cost] and yield; the thread resumes once it has the smallest
+    virtual clock. All shared-memory accesses funnel through this. *)
+let consume cost =
+  match (!active_sched, !active_thread) with
+  | Some sched, Some th ->
+      local_charge sched th cost;
+      th.yields <- th.yields + 1;
+      Effect.perform Yield
+  | _ -> ()
+
+let access_cost (kind : access) ~hit =
+  match !active_sched with
+  | None -> 0
+  | Some sched -> (
+      let p = sched.profile in
+      match (kind, hit) with
+      | Read, true -> p.read_hit
+      | Read, false -> p.read_miss
+      | Write, true -> p.write_hit
+      | Write, false -> p.write_miss
+      | Cas, true -> p.cas_hit
+      | Cas, false -> p.cas_miss)
+
+(** [access kind ~hit] charges one shared-memory access and yields.
+    Also maintains the per-run access counters, which is what lets the
+    benches report synchronization operations per data-structure op. *)
+let access kind ~hit =
+  (match !active_sched with
+  | None -> ()
+  | Some sched -> (
+      match kind with
+      | Read -> sched.reads <- sched.reads + 1
+      | Write -> sched.writes <- sched.writes + 1
+      | Cas -> sched.cases <- sched.cases + 1));
+  consume (access_cost kind ~hit)
+
+let relax () = with_active (fun sched th -> local_charge sched th sched.profile.relax)
+
+(* Ambient generator for code that runs between simulations (e.g. a
+   structure being pre-populated before a run); deterministic so that
+   setup phases are reproducible. *)
+let ambient_rng = ref (Prng.create 0xA3B1E47L)
+
+let seed_ambient seed = ambient_rng := Prng.create seed
+
+let rand_int bound =
+  match !active_thread with
+  | Some th ->
+      work (match !active_sched with Some s -> s.profile.local_op | None -> 0);
+      Prng.int th.rng bound
+  | None -> Prng.int !ambient_rng bound
+
+(* ------------------------------------------------------------------ *)
+(* The driver loop.                                                    *)
+
+type outcome =
+  | Finished
+  | Suspended of (unit, outcome) Effect.Shallow.continuation
+
+let handler : (outcome, outcome) Effect.Shallow.handler =
+  {
+    retc = (fun o -> o);
+    exnc = raise;
+    effc =
+      (fun (type a) (e : a Effect.t) ->
+        match e with
+        | Yield ->
+            Some
+              (fun (k : (a, outcome) Effect.Shallow.continuation) ->
+                Suspended k)
+        | _ -> None);
+  }
+
+exception Concurrent_simulation
+
+let run ?(profile = Profile.uniform) ?(seed = 42L) bodies =
+  let n = Array.length bodies in
+  if n = 0 then invalid_arg "Sim.Sched.run: no threads";
+  if n > 64 then invalid_arg "Sim.Sched.run: at most 64 simulated threads";
+  if !active_sched <> None then raise Concurrent_simulation;
+  let threads =
+    Array.init n (fun i ->
+        { tid = i; rng = Prng.for_thread ~seed ~id:i; clock = 0; slice = 0; yields = 0 })
+  in
+  let sched =
+    {
+      profile;
+      nthreads = n;
+      load = Profile.load_factor profile n;
+      oversubscribed = n > profile.hw_threads;
+      reads = 0;
+      writes = 0;
+      cases = 0;
+    }
+  in
+  (* One pending continuation per thread; [None] once finished. *)
+  let pending = Array.make n None in
+  for i = 0 to n - 1 do
+    let body = bodies.(i) in
+    pending.(i) <- Some (Effect.Shallow.fiber (fun () -> body i; Finished))
+  done;
+  (* Pick the runnable thread with the smallest clock. Ties are broken by
+     a rotating scan order: a fixed order (e.g. lowest tid) lets one thread
+     keep winning CAS races from a cache-hot line, which starves the others
+     far beyond what real arbitration does. *)
+  let rr = ref 0 in
+  let pick () =
+    let best = ref (-1) in
+    for off = 0 to n - 1 do
+      let i = (!rr + off) mod n in
+      if pending.(i) <> None
+         && (!best < 0 || threads.(i).clock < threads.(!best).clock)
+      then best := i
+    done;
+    incr rr;
+    if !best < 0 then None else Some !best
+  in
+  active_sched := Some sched;
+  let finish () =
+    active_sched := None;
+    active_thread := None
+  in
+  (try
+     let rec loop () =
+       match pick () with
+       | None -> ()
+       | Some i ->
+           let th = threads.(i) in
+           let k = Option.get pending.(i) in
+           pending.(i) <- None;
+           active_thread := Some th;
+           (match Effect.Shallow.continue_with k () handler with
+           | Finished -> ()
+           | Suspended k -> pending.(i) <- Some k);
+           active_thread := None;
+           loop ()
+     in
+     loop ()
+   with e ->
+     finish ();
+     raise e);
+  finish ();
+  let clocks = Array.map (fun th -> th.clock) threads in
+  let span = Array.fold_left max 0 clocks in
+  let yields =
+    Array.fold_left (fun acc (th : thread) -> acc + th.yields) 0 threads
+  in
+  {
+    span;
+    clocks;
+    yields;
+    reads = sched.reads;
+    writes = sched.writes;
+    cases = sched.cases;
+  }

@@ -1,0 +1,70 @@
+(** Deterministic virtual-time scheduler for simulated threads.
+
+    Each simulated thread is an effect-handler fiber. Shared-memory
+    operations (in {!Mem}) charge a cost taken from the machine
+    {!Profile} and yield; the scheduler always resumes the runnable
+    thread with the smallest virtual clock, so the execution is a
+    sequentially consistent interleaving ordered by virtual time. Failed
+    CAS retries, helping, lock convoys and cache-line ping-pong all
+    surface as extra virtual cycles exactly where the algorithms generate
+    them.
+
+    Strictly single-OS-thread; at most one simulation is active per
+    domain at a time; fully deterministic in [(seed, thread bodies)]. *)
+
+(** Classes of shared-memory access, charged differently by profiles. *)
+type access = Read | Write | Cas
+
+type result = {
+  span : int;  (** max final thread clock, in virtual cycles *)
+  clocks : int array;  (** per-thread final clocks *)
+  yields : int;  (** total shared-memory events *)
+  reads : int;  (** shared reads issued *)
+  writes : int;  (** shared unconditional writes issued *)
+  cases : int;  (** CAS-class read-modify-writes issued *)
+}
+
+exception Concurrent_simulation
+(** Raised by {!run} when a simulation is already active. *)
+
+val run :
+  ?profile:Profile.t -> ?seed:int64 -> (int -> unit) array -> result
+(** [run bodies] executes [bodies.(i) i] for every [i] as simulated
+    threads (at most 64) and returns once all finish. Exceptions escaping
+    a body abort the whole simulation and propagate after the scheduler
+    state is reset. *)
+
+(* ---- primitives used by simulated code ---- *)
+
+val active : unit -> bool
+(** Is the caller executing inside a simulation? *)
+
+val tid : unit -> int
+(** Simulated thread id; 0 for the ambient (outside-simulation) caller. *)
+
+val now : unit -> int
+(** Virtual time of the calling thread; globally comparable across
+    threads of one run. 0 outside a simulation. *)
+
+val work : int -> unit
+(** Charge local (thread-private) work without yielding. *)
+
+val consume : int -> unit
+(** Charge [cost] cycles and yield; no-op outside a simulation. *)
+
+val access_cost : access -> hit:bool -> int
+(** Cost of one access under the active profile (0 when inactive). *)
+
+val access : access -> hit:bool -> unit
+(** Charge one shared-memory access, count it, and yield. *)
+
+val relax : unit -> unit
+(** A [cpu_relax] pause: local charge, no yield. *)
+
+val rand_int : int -> int
+(** Uniform draw from the calling thread's deterministic generator, or
+    from the ambient generator outside a simulation. *)
+
+val seed_ambient : int64 -> unit
+(** Reseed the ambient generator used outside simulations, so setup
+    phases (pre-population) are reproducible. *)

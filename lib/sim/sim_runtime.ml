@@ -1,0 +1,11 @@
+(** The simulator's implementation of {!Runtime.S}.
+
+    Instantiating a concurrent structure with this module makes every one
+    of its shared-memory accesses a costed, interleavable event of the
+    active {!Sched} simulation. *)
+
+module Atomic = Mem
+
+let cpu_relax = Sched.relax
+let self = Sched.tid
+let rand_int = Sched.rand_int

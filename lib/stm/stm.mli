@@ -1,0 +1,41 @@
+(** Word-based software transactional memory in the TL2 style (Dice,
+    Shalev & Shavit 2006), over a runtime's atomics — the substrate for
+    the STM-heap comparison point the paper's introduction cites
+    (Dragicevic & Bauer). A {!Make.tvar} holds one [int], matching TL2's
+    word granularity.
+
+    Transactions are opaque (a live transaction never observes an
+    inconsistent snapshot), commit by locking the write set in a global
+    id order, and retry with randomized exponential backoff on conflict.
+    The design is blocking: a preempted committer delays conflicting
+    writers — exactly the behaviour the evaluation contrasts with the
+    lock-free mound. *)
+
+module Make (_ : Runtime.S) : sig
+  type tvar
+  (** A transactional variable holding an [int]. *)
+
+  type tx
+  (** A transaction in progress; only valid within the callback passed to
+      {!atomically}. *)
+
+  exception Abort
+  (** Raised internally on conflict; {!atomically} catches it and
+      retries. User code may also raise it to force a retry. *)
+
+  val make : int -> tvar
+
+  val read : tx -> tvar -> int
+  (** Transactional read, with read-own-writes. *)
+
+  val write : tx -> tvar -> int -> unit
+  (** Buffered transactional write, published at commit. *)
+
+  val atomically : (tx -> 'a) -> 'a
+  (** [atomically f] runs [f] as a transaction, retrying on conflict.
+      [f] must be pure apart from {!read}/{!write} on tvars (it may run
+      multiple times). *)
+
+  val peek : tvar -> int
+  (** Non-transactional read for quiescent inspection. *)
+end

@@ -1,0 +1,173 @@
+(* Tests for the keyed priority map (decrease-key via lazy deletion). *)
+
+module K = Mound.Keyed.Make (Mound.Int_ord) (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let basics () =
+  let m = K.create () in
+  check "empty" true (K.pop_min m = None);
+  ignore (K.insert m "a" 5);
+  ignore (K.insert m "b" 3);
+  ignore (K.insert m "c" 9);
+  check_int "size" 3 (K.size m);
+  check "peek" true (K.peek_min m = Some ("b", 3));
+  check "pop b" true (K.pop_min m = Some ("b", 3));
+  check "pop a" true (K.pop_min m = Some ("a", 5));
+  check "pop c" true (K.pop_min m = Some ("c", 9));
+  check "drained" true (K.pop_min m = None)
+
+let decrease_key_wins () =
+  let m = K.create () in
+  ignore (K.insert m "x" 10);
+  ignore (K.insert m "y" 5);
+  check "decrease accepted" true (K.decrease_key m "x" 1);
+  check "x now first" true (K.pop_min m = Some ("x", 1));
+  check "y second" true (K.pop_min m = Some ("y", 5));
+  (* stale entry for x at 10 must not resurface *)
+  check "no stale" true (K.pop_min m = None)
+
+let increase_ignored () =
+  let m = K.create () in
+  ignore (K.insert m "x" 3);
+  check "worsening rejected" false (K.insert m "x" 7);
+  check "priority unchanged" true (K.priority m "x" = Some 3);
+  check "pop at 3" true (K.pop_min m = Some ("x", 3))
+
+let reinsert_after_pop () =
+  let m = K.create () in
+  ignore (K.insert m "x" 4);
+  check "pop" true (K.pop_min m = Some ("x", 4));
+  check "mem gone" false (K.mem m "x");
+  check "reinsert works" true (K.insert m "x" 2);
+  check "pop again" true (K.pop_min m = Some ("x", 2))
+
+(* dijkstra on the keyed map equals dijkstra with manual lazy deletion *)
+let dijkstra_equivalence () =
+  let module Km =
+    Mound.Keyed.Make
+      (Mound.Int_ord)
+      (struct
+        type t = int
+
+        let equal = Int.equal
+        let hash = Hashtbl.hash
+      end)
+  in
+  let n = 3_000 in
+  let rng = Prng.create 23L in
+  let adj =
+    Array.init n (fun _ ->
+        List.init 6 (fun _ -> (Prng.int rng n, 1 + Prng.int rng 50)))
+  in
+  (* keyed-map version *)
+  let dist = Array.make n max_int in
+  let m = Km.create () in
+  dist.(0) <- 0;
+  ignore (Km.insert m 0 0);
+  let rec loop () =
+    match Km.pop_min m with
+    | None -> ()
+    | Some (v, d) ->
+        List.iter
+          (fun (w, len) ->
+            if d + len < dist.(w) then begin
+              dist.(w) <- d + len;
+              ignore (Km.decrease_key m w (d + len))
+            end)
+          adj.(v);
+        loop ()
+  in
+  loop ();
+  (* reference with plain sorted list model *)
+  let dist' = Array.make n max_int in
+  let module H = Baselines.Seq_heap.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let h = H.create () in
+  dist'.(0) <- 0;
+  H.insert h (0, 0);
+  let rec loop () =
+    match H.extract_min h with
+    | None -> ()
+    | Some (d, v) ->
+        if d = dist'.(v) then
+          List.iter
+            (fun (w, len) ->
+              if d + len < dist'.(w) then begin
+                dist'.(w) <- d + len;
+                H.insert h (d + len, w)
+              end)
+            adj.(v);
+        loop ()
+  in
+  loop ();
+  check "distances agree" true (dist = dist')
+
+let prop_model =
+  (* random scripts of insert/decrease/pop against a naive model *)
+  QCheck.Test.make ~name:"keyed map matches naive model" ~count:200
+    QCheck.(list (pair (int_bound 20) (int_bound 100)))
+    (fun script ->
+      let m = K.create () in
+      let model : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun (k, p) ->
+          let key = string_of_int k in
+          if p mod 5 = 0 then begin
+            (* pop *)
+            let want =
+              Hashtbl.fold
+                (fun k p acc ->
+                  match acc with
+                  | Some (_, bp) when bp < p -> acc
+                  | Some (bk, bp) when bp = p && bk <= k -> acc
+                  | _ -> Some (k, p))
+                model None
+            in
+            match (K.pop_min m, want) with
+            | None, None -> ()
+            | Some (gk, gp), Some (_, wp) ->
+                (* tie-breaking on equal priorities is unspecified: only
+                   the priority must match *)
+                if gp <> wp || Hashtbl.find model gk <> gp then ok := false
+                else Hashtbl.remove model gk
+            | _ -> ok := false
+          end
+          else begin
+            let changed = K.insert m key p in
+            let model_changed =
+              match Hashtbl.find_opt model key with
+              | Some cur when cur <= p -> false
+              | _ ->
+                  Hashtbl.replace model key p;
+                  true
+            in
+            if changed <> model_changed then ok := false
+          end)
+        script;
+      !ok && K.size m = Hashtbl.length model)
+
+let () =
+  Alcotest.run "keyed"
+    [
+      ( "keyed map",
+        [
+          Alcotest.test_case "basics" `Quick basics;
+          Alcotest.test_case "decrease_key wins" `Quick decrease_key_wins;
+          Alcotest.test_case "increase ignored" `Quick increase_ignored;
+          Alcotest.test_case "reinsert after pop" `Quick reinsert_after_pop;
+          Alcotest.test_case "dijkstra equivalence" `Quick
+            dijkstra_equivalence;
+          QCheck_alcotest.to_alcotest prop_model;
+        ] );
+    ]

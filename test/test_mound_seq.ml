@@ -1,0 +1,201 @@
+(* Tests for the sequential mound. *)
+
+module S = Mound.Seq_int
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make_sut () =
+  let q = S.create ~seed:21L () in
+  {
+    Model.sut_insert = S.insert q;
+    sut_extract_min = (fun () -> S.extract_min q);
+    sut_peek_min = (fun () -> S.peek_min q);
+    sut_extract_many = (fun () -> S.extract_many q);
+    sut_extract_approx = (fun () -> S.extract_approx q);
+    sut_check = (fun () -> S.check q);
+    sut_size = (fun () -> S.size q);
+  }
+
+let prop_model =
+  QCheck.Test.make ~name:"matches sorted-multiset model" ~count:150
+    Model.ops_arbitrary
+    (fun script -> Model.agrees_with_model make_sut script)
+
+let heapsort () =
+  let rng = Prng.create 31L in
+  let input = Array.init 30_000 (fun _ -> Prng.int rng 1_000_000 - 500_000) in
+  let q = S.create ~seed:1L () in
+  Array.iter (S.insert q) input;
+  check "invariant" true (S.check q);
+  check_int "size" 30_000 (S.size q);
+  let rec drain acc =
+    match S.extract_min q with None -> List.rev acc | Some v -> drain (v :: acc)
+  in
+  let out = drain [] in
+  check "sorted output" true (out = List.sort compare (Array.to_list input));
+  check "empty at end" true (S.is_empty q)
+
+let duplicates () =
+  let q = S.create ~seed:2L () in
+  for _ = 1 to 100 do
+    S.insert q 7
+  done;
+  check_int "size" 100 (S.size q);
+  for _ = 1 to 100 do
+    check "dup extraction" true (S.extract_min q = Some 7)
+  done;
+  check "exhausted" true (S.extract_min q = None)
+
+let empty_behaviour () =
+  let q = S.create () in
+  check "extract empty" true (S.extract_min q = None);
+  check "peek empty" true (S.peek_min q = None);
+  check "extract_many empty" true (S.extract_many q = []);
+  check "extract_approx empty" true (S.extract_approx q = None);
+  check "is_empty" true (S.is_empty q);
+  check_int "size 0" 0 (S.size q);
+  check "check on empty" true (S.check q)
+
+(* The paper's best case: decreasing inserts always go to the root, so
+   the mound never grows — one sorted list at the root (§VI-B fn. 1). *)
+let decreasing_stays_shallow () =
+  let q = S.create ~seed:3L () in
+  for v = 10_000 downto 1 do
+    S.insert q v
+  done;
+  check_int "depth stays 1" 1 (S.depth q);
+  check "still correct" true (S.extract_min q = Some 1)
+
+(* The paper's worst case: increasing inserts make every list a
+   singleton, depth one more than a heap would need. *)
+let increasing_singleton_lists () =
+  let n = 4096 in
+  let q = S.create ~seed:4L () in
+  for v = 1 to n do
+    S.insert q v
+  done;
+  let max_list =
+    S.fold_nodes q (fun m _ l -> max m (List.length l)) 0
+  in
+  check_int "all lists singleton" 1 max_list;
+  (* a heap would need 12 levels for 4096; allow the paper's +2 or so *)
+  check "depth near log n" true (S.depth q <= 15);
+  check "invariant" true (S.check q)
+
+let random_lists_get_long () =
+  let q = S.create ~seed:5L () in
+  let rng = Prng.create 6L in
+  for _ = 1 to 1 lsl 16 do
+    S.insert q (Prng.int rng (1 lsl 30))
+  done;
+  let max_list = S.fold_nodes q (fun m _ l -> max m (List.length l)) 0 in
+  check "random inserts build lists > 1" true (max_list > 2);
+  (* mound depth beats a binary heap's for the same element count
+     (16 levels) because lists hold multiple elements *)
+  check "depth below heap depth" true (S.depth q <= 17)
+
+
+let insert_many_behaviour () =
+  let q = S.create ~seed:12L () in
+  (* splice-friendly: narrow batch into an empty mound *)
+  S.insert_many q [ 1; 2; 3 ];
+  check "invariant" true (S.check q);
+  check_int "size" 3 (S.size q);
+  (* wide batch over existing content: falls back but stays correct *)
+  let rng = Prng.create 13L in
+  for _ = 1 to 500 do
+    S.insert q (Prng.int rng 1000)
+  done;
+  S.insert_many q [ 0; 250; 500; 750; 999 ];
+  check "invariant after wide batch" true (S.check q);
+  check_int "size" 508 (S.size q);
+  S.insert_many q [];
+  check_int "empty batch no-op" 508 (S.size q);
+  check "min" true (S.extract_min q = Some 0)
+
+let extract_many_takes_root_list () =
+  let q = S.create ~seed:7L () in
+  List.iter (S.insert q) [ 5; 3; 9; 1; 1; 2 ];
+  let batch = S.extract_many q in
+  check "batch sorted" true (batch = List.sort compare batch);
+  check "batch head was minimum" true (List.hd batch = 1);
+  check "invariant after" true (S.check q);
+  check_int "conservation" 6 (List.length batch + S.size q)
+
+let extract_approx_member () =
+  let q = S.create ~seed:8L () in
+  let inserted = List.init 500 (fun i -> i * 3) in
+  List.iter (S.insert q) inserted;
+  match S.extract_approx q with
+  | None -> Alcotest.fail "nonempty"
+  | Some v ->
+      check "member" true (List.mem v inserted);
+      check_int "size decremented" 499 (S.size q);
+      check "invariant" true (S.check q)
+
+let mixed_churn_keeps_invariant () =
+  let q = S.create ~seed:9L () in
+  let rng = Prng.create 10L in
+  for _ = 1 to 50_000 do
+    if Prng.int rng 2 = 0 then S.insert q (Prng.int rng 100_000)
+    else ignore (S.extract_min q)
+  done;
+  check "invariant after churn" true (S.check q)
+
+let deterministic_given_seed () =
+  let build () =
+    let q = S.create ~seed:77L () in
+    let rng = Prng.create 78L in
+    for _ = 1 to 5_000 do
+      S.insert q (Prng.int rng 1_000_000)
+    done;
+    (S.depth q, S.fold_nodes q (fun acc i l -> (i, l) :: acc) [])
+  in
+  check "identical structure" true (build () = build ())
+
+let threshold_and_depth_args () =
+  let q = S.create ~threshold:1 ~init_depth:4 ~seed:1L () in
+  check_int "initial depth honored" 4 (S.depth q);
+  for v = 1 to 1000 do
+    S.insert q v
+  done;
+  check "works with threshold 1" true (S.check q)
+
+let () =
+  Alcotest.run "mound_seq"
+    [
+      ( "model",
+        [
+          QCheck_alcotest.to_alcotest prop_model;
+          Alcotest.test_case "heapsort 30k" `Quick heapsort;
+          Alcotest.test_case "duplicates" `Quick duplicates;
+          Alcotest.test_case "empty behaviour" `Quick empty_behaviour;
+        ] );
+      ( "randomized shape (paper §VI-B)",
+        [
+          Alcotest.test_case "decreasing stays depth 1" `Quick
+            decreasing_stays_shallow;
+          Alcotest.test_case "increasing singleton lists" `Quick
+            increasing_singleton_lists;
+          Alcotest.test_case "random builds long lists" `Quick
+            random_lists_get_long;
+          Alcotest.test_case "deterministic given seed" `Quick
+            deterministic_given_seed;
+        ] );
+      ( "extensions (paper §V)",
+        [
+          Alcotest.test_case "extract_many = root list" `Quick
+            extract_many_takes_root_list;
+          Alcotest.test_case "insert_many" `Quick insert_many_behaviour;
+          Alcotest.test_case "extract_approx returns member" `Quick
+            extract_approx_member;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "mixed churn invariant" `Quick
+            mixed_churn_keeps_invariant;
+          Alcotest.test_case "threshold/init_depth args" `Quick
+            threshold_and_depth_args;
+        ] );
+    ]

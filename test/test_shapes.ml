@@ -1,0 +1,99 @@
+(* Shape regressions: the paper's qualitative evaluation claims, encoded
+   as deterministic small-scale simulator runs. These are the properties
+   EXPERIMENTS.md reports; if a code change flips one, the reproduction
+   story has changed and someone should look. All runs are seeded, so
+   they are exact regressions, not statistical tests. *)
+
+let check = Alcotest.(check bool)
+
+let tp ?(profile = Sim.Profile.x86) ~panel ~threads ~ops ~init maker =
+  (Harness.Sim_exp.run_cell ~profile ~seed:7L ~panel ~threads
+     ~ops_per_thread:ops ~init_size:init maker)
+    .throughput
+
+(* Fig. 2 (e): the locking mound dominates insert; the Hunt heap does not
+   scale. *)
+let insert_panel_shape () =
+  let t maker = tp ~panel:Insert ~threads:6 ~ops:512 ~init:0 maker in
+  let lock = t Harness.Pq.On_sim.mound_lock in
+  let lf = t Harness.Pq.On_sim.mound_lf in
+  let hunt = t Harness.Pq.On_sim.hunt in
+  check "locking mound beats lock-free" true (lock > lf);
+  check "locking mound beats hunt by >2x" true (lock > 2. *. hunt);
+  let hunt1 = tp ~panel:Insert ~threads:1 ~ops:512 ~init:0 Harness.Pq.On_sim.hunt in
+  let lock1 = tp ~panel:Insert ~threads:1 ~ops:512 ~init:0 Harness.Pq.On_sim.mound_lock in
+  check "hunt does not scale 1->6" true (hunt /. hunt1 < 2.);
+  check "locking mound scales 1->6" true (lock /. lock1 > 1.5)
+
+(* Fig. 2 (f): the skiplist dominates extract-min; the lock-free mound is
+   the slowest (O(log N) software DCAS per moundify). *)
+let extract_panel_shape () =
+  let t maker = tp ~panel:Extract ~threads:6 ~ops:512 ~init:0 maker in
+  let sl = t Harness.Pq.On_sim.skiplist in
+  let lf = t Harness.Pq.On_sim.mound_lf in
+  let lock = t Harness.Pq.On_sim.mound_lock in
+  let hunt = t Harness.Pq.On_sim.hunt in
+  check "skiplist wins extractmin" true (sl > lock && sl > lf && sl > hunt);
+  check "lock-free mound slowest" true (lf < lock && lf < hunt);
+  (* "the locking mound and the Hunt queue are similar" *)
+  check "lock mound ~ hunt (within 2x)" true
+    (lock < 2. *. hunt && hunt < 2. *. lock)
+
+(* Fig. 2 (g): mounds ahead at one thread; skiplist ahead once threads
+   are plentiful. *)
+let mixed_crossover_shape () =
+  let t threads maker = tp ~panel:Mixed ~threads ~ops:512 ~init:2048 maker in
+  check "lock mound wins at 1 thread" true
+    (t 1 Harness.Pq.On_sim.mound_lock > t 1 Harness.Pq.On_sim.skiplist);
+  check "skiplist wins at 6 threads" true
+    (t 6 Harness.Pq.On_sim.skiplist > t 6 Harness.Pq.On_sim.mound_lock)
+
+(* Fig. 2 (h): extract_many beats extract_min drains on the mound. *)
+let extract_many_advantage () =
+  let many =
+    tp ~panel:Extract_many ~threads:4 ~ops:0 ~init:4096
+      Harness.Pq.On_sim.mound_lock
+  in
+  let single =
+    tp ~panel:Extract ~threads:4 ~ops:1024 ~init:0 Harness.Pq.On_sim.mound_lock
+  in
+  check "extract_many drains faster" true (many > 1.5 *. single)
+
+(* §I / intro: the STM heap does not scale (aborts at size/root). *)
+let stm_declines () =
+  let t threads = tp ~panel:Mixed ~threads ~ops:384 ~init:1024 Harness.Pq.On_sim.stm_heap in
+  check "stm throughput declines 1->6" true (t 6 < t 1)
+
+(* §IV: software DCAS costs several CAS; locking moundify ~2J+1 vs 5J. *)
+let cas_arithmetic () =
+  let rows = Harness.Ablation.sync_costs ~n:2048 ~ops:128 () in
+  let find s o =
+    (List.find
+       (fun (r : Harness.Ablation.cost_row) ->
+         r.structure = s && r.operation = o)
+       rows)
+      .cas_per_op
+  in
+  check "lf extract >= 2x lock extract in CAS" true
+    (find "Mound (LF)" "extractmin" >= 2. *. find "Mound (Lock)" "extractmin");
+  check "lf insert is one DCSS worth of CAS" true
+    (let c = find "Mound (LF)" "insert" in
+     c >= 5. && c <= 12.)
+
+let () =
+  Alcotest.run "shapes (paper claims as regressions)"
+    [
+      ( "fig2",
+        [
+          Alcotest.test_case "insert panel" `Quick insert_panel_shape;
+          Alcotest.test_case "extractmin panel" `Quick extract_panel_shape;
+          Alcotest.test_case "mixed crossover" `Quick mixed_crossover_shape;
+          Alcotest.test_case "extract_many advantage" `Quick
+            extract_many_advantage;
+        ] );
+      ( "prior work / cost analysis",
+        [
+          Alcotest.test_case "stm declines" `Quick stm_declines;
+          Alcotest.test_case "cas arithmetic" `Quick cas_arithmetic;
+        ] );
+    ]

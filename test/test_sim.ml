@@ -1,0 +1,238 @@
+(* Tests for the virtual-time concurrency simulator. *)
+
+module R = Sim.Runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let counter_atomicity () =
+  let c = R.Atomic.make 0 in
+  let body _ = for _ = 1 to 1000 do ignore (R.Atomic.fetch_and_add c 1) done in
+  ignore (Sim.Sched.run (Array.make 8 body));
+  check_int "no lost updates" 8000 (R.Atomic.get c)
+
+let cas_loop_atomicity () =
+  let c = R.Atomic.make 0 in
+  let body _ =
+    for _ = 1 to 500 do
+      let rec bump () =
+        let v = R.Atomic.get c in
+        if not (R.Atomic.compare_and_set c v (v + 1)) then bump ()
+      in
+      bump ()
+    done
+  in
+  ignore (Sim.Sched.run ~profile:Sim.Profile.x86 (Array.make 4 body));
+  check_int "cas loop exact" 2000 (R.Atomic.get c)
+
+let determinism () =
+  (* the body consults the thread-local rng, so the trace depends on the
+     seed; replaying a seed must reproduce the interleaving exactly *)
+  let run seed =
+    let c = R.Atomic.make 0 and d = R.Atomic.make 0 in
+    let log = Buffer.create 64 in
+    let body tid =
+      for _ = 1 to 50 do
+        let target = if R.rand_int 2 = 0 then c else d in
+        let v = R.Atomic.fetch_and_add target 1 in
+        if v mod 17 = 0 then Buffer.add_string log (string_of_int tid)
+      done
+    in
+    let r = Sim.Sched.run ~profile:Sim.Profile.niagara2 ~seed (Array.make 6 body) in
+    (r.span, R.Atomic.get c, Buffer.contents log)
+  in
+  check "same seed, same trace" true (run 5L = run 5L);
+  check "different seed, different schedule" true (run 5L <> run 6L)
+
+let exchange_and_set () =
+  let c = R.Atomic.make 10 in
+  let seen = Array.make 2 0 in
+  let body tid = seen.(tid) <- R.Atomic.exchange c (100 + tid) in
+  ignore (Sim.Sched.run (Array.make 2 body));
+  (* one thread saw 10; the other saw the first thread's value *)
+  let final = R.Atomic.get c in
+  check "final is one of the stores" true (final = 100 || final = 101);
+  check "initial value handed out once" true
+    ((seen.(0) = 10) <> (seen.(1) = 10))
+
+let outside_simulation_plain () =
+  (* sim atomics degrade to plain cells outside a run *)
+  let c = R.Atomic.make 1 in
+  R.Atomic.set c 2;
+  check_int "set" 2 (R.Atomic.get c);
+  check "cas" true (R.Atomic.compare_and_set c 2 3);
+  check_int "faa" 3 (R.Atomic.fetch_and_add c 4);
+  check_int "after faa" 7 (R.Atomic.get c);
+  (* ambient rand works without a scheduler *)
+  let v = R.rand_int 10 in
+  check "ambient rand bounded" true (v >= 0 && v < 10);
+  check_int "ambient self" 0 (R.self ())
+
+let single_thread_costs () =
+  (* a lone thread on the uniform profile pays exactly 1 cycle per shared
+     access: cost accounting is exact *)
+  let c = R.Atomic.make 0 in
+  let body _ =
+    for _ = 1 to 10 do
+      ignore (R.Atomic.get c)
+    done;
+    R.Atomic.set c 1
+  in
+  let r = Sim.Sched.run ~profile:Sim.Profile.uniform [| body |] in
+  check_int "10 reads + 1 write = 11 cycles" 11 r.span;
+  check_int "11 yields" 11 r.yields
+
+let read_hit_vs_miss () =
+  (* on x86: first read is a miss, subsequent reads hit *)
+  let c = R.Atomic.make 0 in
+  let body _ =
+    for _ = 1 to 5 do
+      ignore (R.Atomic.get c)
+    done
+  in
+  let r = Sim.Sched.run ~profile:Sim.Profile.x86 [| body |] in
+  let p = Sim.Profile.x86 in
+  check_int "1 miss + 4 hits" (p.read_miss + (4 * p.read_hit)) r.span
+
+let invalidation_costs () =
+  (* two alternating writers never hit: writes invalidate the peer *)
+  let c = R.Atomic.make 0 in
+  let per = 50 in
+  let body tid = for i = 1 to per do R.Atomic.set c ((tid * 1000) + i) done in
+  let r = Sim.Sched.run ~profile:Sim.Profile.x86 (Array.make 2 body) in
+  let p = Sim.Profile.x86 in
+  (* perfect alternation would make every write a miss; allow some hits
+     when one thread runs ahead, but the bulk must be misses *)
+  check "mostly write misses" true
+    (r.span > per * (p.write_hit + p.write_miss) / 2)
+
+let load_factor_shape () =
+  let p = Sim.Profile.x86 in
+  check "1 at or below cores" true
+    (Sim.Profile.load_factor p 1 = 1.0 && Sim.Profile.load_factor p 6 = 1.0);
+  check "rises through SMT range" true
+    (Sim.Profile.load_factor p 9 > 1.0
+    && Sim.Profile.load_factor p 12 <= 1.0 +. p.smt_penalty +. 1e-9);
+  check "grows when oversubscribed" true
+    (Sim.Profile.load_factor p 24 > Sim.Profile.load_factor p 12);
+  check "uniform profile is flat" true
+    (Sim.Profile.load_factor Sim.Profile.uniform 64 = 1.0)
+
+let seconds_conversion () =
+  let p = Sim.Profile.x86 in
+  let s = Sim.Profile.seconds p 2_670_000_000 in
+  check "1e9 cycles at 2.67GHz ~ 1s" true (abs_float (s -. 1.0) < 1e-9)
+
+let profiles_by_name () =
+  check "niagara2" true (Sim.Profile.by_name "niagara2" = Some Sim.Profile.niagara2);
+  check "x86" true (Sim.Profile.by_name "x86" = Some Sim.Profile.x86);
+  check "unknown" true (Sim.Profile.by_name "vax" = None)
+
+let oversubscription_slows () =
+  (* same per-thread work, threads doubled past the hardware contexts:
+     the timesharing load factor must show up as a clearly longer
+     makespan (ideal parallel scaling would keep the span constant) *)
+  let work threads per =
+    let c = R.Atomic.make 0 in
+    let body _ = for _ = 1 to per do ignore (R.Atomic.fetch_and_add c 1) done in
+    (Sim.Sched.run ~profile:Sim.Profile.x86 (Array.make threads body)).span
+  in
+  let at12 = work 12 200 in
+  let at24 = work 24 200 in
+  check "oversubscribed is slower" true
+    (float_of_int at24 > 1.4 *. float_of_int at12)
+
+let thread_limit () =
+  check "65 threads rejected" true
+    (try
+       ignore (Sim.Sched.run (Array.make 65 (fun _ -> ())));
+       false
+     with Invalid_argument _ -> true);
+  check "0 threads rejected" true
+    (try
+       ignore (Sim.Sched.run [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let nested_run_rejected () =
+  let saw = ref false in
+  (try
+     ignore
+       (Sim.Sched.run
+          [|
+            (fun _ ->
+              try ignore (Sim.Sched.run [| (fun _ -> ()) |])
+              with Sim.Sched.Concurrent_simulation -> saw := true);
+          |])
+   with _ -> ());
+  check "nested run detected" true !saw
+
+let exception_propagates_and_resets () =
+  (try
+     ignore (Sim.Sched.run [| (fun _ -> failwith "boom") |]);
+     Alcotest.fail "expected exception"
+   with Failure m -> check "message" true (m = "boom"));
+  (* scheduler state reset: a fresh run works *)
+  let c = R.Atomic.make 0 in
+  ignore (Sim.Sched.run [| (fun _ -> R.Atomic.set c 1) |]);
+  check_int "subsequent run fine" 1 (R.Atomic.get c)
+
+let rand_deterministic_per_thread () =
+  let draws1 = Array.make 4 [] in
+  let body1 tid = for _ = 1 to 5 do draws1.(tid) <- R.rand_int 100 :: draws1.(tid) done in
+  ignore (Sim.Sched.run ~seed:9L (Array.init 4 (fun _ -> body1) ));
+  let draws2 = Array.make 4 [] in
+  let body2 tid = for _ = 1 to 5 do draws2.(tid) <- R.rand_int 100 :: draws2.(tid) done in
+  ignore (Sim.Sched.run ~seed:9L (Array.init 4 (fun _ -> body2)));
+  check "same seed, same per-thread draws" true (draws1 = draws2)
+
+let clock_monotone_per_thread () =
+  let r =
+    Sim.Sched.run ~profile:Sim.Profile.niagara2
+      (Array.make 3 (fun _ ->
+           let c = R.Atomic.make 0 in
+           for _ = 1 to 20 do
+             ignore (R.Atomic.fetch_and_add c 1)
+           done))
+  in
+  Array.iter (fun c -> check "positive clock" true (c > 0)) r.clocks;
+  check "span is max clock" true
+    (r.span = Array.fold_left max 0 r.clocks)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "atomicity",
+        [
+          Alcotest.test_case "fetch_and_add" `Quick counter_atomicity;
+          Alcotest.test_case "cas loop" `Quick cas_loop_atomicity;
+          Alcotest.test_case "exchange" `Quick exchange_and_set;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "seeded replay" `Quick determinism;
+          Alcotest.test_case "per-thread rand" `Quick
+            rand_deterministic_per_thread;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "single thread exact" `Quick single_thread_costs;
+          Alcotest.test_case "read hit vs miss" `Quick read_hit_vs_miss;
+          Alcotest.test_case "write invalidation" `Quick invalidation_costs;
+          Alcotest.test_case "load factor shape" `Quick load_factor_shape;
+          Alcotest.test_case "seconds conversion" `Quick seconds_conversion;
+          Alcotest.test_case "profiles by name" `Quick profiles_by_name;
+          Alcotest.test_case "oversubscription slows" `Quick
+            oversubscription_slows;
+          Alcotest.test_case "clocks monotone" `Quick clock_monotone_per_thread;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "plain outside run" `Quick
+            outside_simulation_plain;
+          Alcotest.test_case "thread limits" `Quick thread_limit;
+          Alcotest.test_case "nested run rejected" `Quick nested_run_rejected;
+          Alcotest.test_case "exception resets state" `Quick
+            exception_propagates_and_resets;
+        ] );
+    ]

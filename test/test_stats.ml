@@ -1,0 +1,96 @@
+(* Tests for the structure-statistics module behind Tables I-IV. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* a hand-built "mound": node index -> list *)
+let iter_of_alist alist f = List.iter (fun (i, l) -> f i l) alist
+
+let compute alist =
+  Mound.Stats.compute ~iter:(iter_of_alist alist) ~to_float:float_of_int ()
+
+let basic_level_accounting () =
+  let stats =
+    compute
+      [ (1, [ 1; 2 ]); (2, [ 3 ]); (3, []); (4, [ 5; 6; 7 ]); (5, []); (6, []); (7, [ 9 ]) ]
+  in
+  check_int "depth" 3 stats.depth;
+  let l0 = stats.levels.(0) and l1 = stats.levels.(1) and l2 = stats.levels.(2) in
+  check_int "l0 capacity" 1 l0.capacity;
+  check_int "l0 nonempty" 1 l0.nonempty;
+  check_int "l0 elements" 2 l0.elements;
+  check_int "l1 nonempty" 1 l1.nonempty;
+  check_int "l2 nonempty" 2 l2.nonempty;
+  check_int "l2 elements" 4 l2.elements;
+  check_int "total" 7 (Mound.Stats.total_elements stats);
+  check_int "longest list" 3 (Mound.Stats.longest_list stats)
+
+let fullness_percentages () =
+  let stats = compute [ (1, [ 1 ]); (2, [ 2 ]); (3, []) ] in
+  check "root full" true (Mound.Stats.fullness stats.levels.(0) = 100.);
+  check "level1 half full" true (Mound.Stats.fullness stats.levels.(1) = 50.)
+
+let incomplete_levels_format () =
+  let stats = compute [ (1, [ 1 ]); (2, [ 2 ]); (3, []) ] in
+  (match Mound.Stats.incomplete_levels stats with
+  | [ (1, f) ] -> check "50%" true (f = 50.)
+  | _ -> Alcotest.fail "expected exactly level 1 incomplete");
+  let rendered = Format.asprintf "%a" Mound.Stats.pp_incomplete stats in
+  check "renders like the paper" true (rendered = "50.00% (1)")
+
+let avg_value_and_list_len () =
+  let stats = compute [ (1, [ 10; 20 ]); (2, [ 30 ]); (3, []) ] in
+  (match Mound.Stats.avg_value stats.levels.(0) with
+  | Some v -> check "avg value root" true (v = 15.)
+  | None -> Alcotest.fail "expected avg");
+  check "avg list len includes empties" true
+    (Mound.Stats.avg_list_len stats.levels.(1) = 0.5);
+  check "empty level has no avg" true
+    (Mound.Stats.avg_value stats.levels.(1) <> None);
+  let empty_level = compute [ (1, []) ] in
+  check "all-empty level" true
+    (Mound.Stats.avg_value empty_level.levels.(0) = None)
+
+let skips_nothing_on_sparse_levels () =
+  (* allocated nodes on level 2 only: levels 0-1 still reported (empty) *)
+  let stats = compute [ (4, [ 1 ]); (5, []); (6, []); (7, []) ] in
+  check_int "depth 3" 3 stats.depth;
+  check_int "level0 capacity" 1 stats.levels.(0).capacity;
+  check_int "level0 nonempty" 0 stats.levels.(0).nonempty;
+  check_int "level2 nonempty" 1 stats.levels.(2).nonempty
+
+let agrees_with_seq_mound () =
+  let module S = Mound.Seq_int in
+  let q = S.create ~seed:71L () in
+  let rng = Prng.create 72L in
+  for _ = 1 to 10_000 do
+    S.insert q (Prng.int rng 1_000_000)
+  done;
+  let stats =
+    Mound.Stats.compute
+      ~iter:(fun f -> S.fold_nodes q (fun () i l -> f i l) ())
+      ~to_float:float_of_int ()
+  in
+  check_int "elements = size" (S.size q) (Mound.Stats.total_elements stats);
+  check_int "depth matches" (S.depth q) stats.depth;
+  (* level capacities are the full binary-tree row sizes *)
+  Array.iteri
+    (fun l lv -> check_int "capacity" (1 lsl l) lv.Mound.Stats.capacity)
+    stats.levels
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "accounting",
+        [
+          Alcotest.test_case "levels" `Quick basic_level_accounting;
+          Alcotest.test_case "fullness" `Quick fullness_percentages;
+          Alcotest.test_case "incomplete levels" `Quick
+            incomplete_levels_format;
+          Alcotest.test_case "averages" `Quick avg_value_and_list_len;
+          Alcotest.test_case "sparse levels" `Quick
+            skips_nothing_on_sparse_levels;
+          Alcotest.test_case "agrees with seq mound" `Quick
+            agrees_with_seq_mound;
+        ] );
+    ]

@@ -1,0 +1,205 @@
+(* Tests for the growable tree substrate shared by all mound variants. *)
+
+module T = Mound.Tree.Make (Runtime.Real)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make_tree ?threshold ?init_depth ?rand () =
+  T.create ?threshold ?init_depth ?rand (fun () -> ref (-1))
+
+let level_of () =
+  check_int "level 1" 0 (T.level_of 1);
+  check_int "level 2" 1 (T.level_of 2);
+  check_int "level 3" 1 (T.level_of 3);
+  check_int "level 4" 2 (T.level_of 4);
+  check_int "level 7" 2 (T.level_of 7);
+  check_int "level 8" 3 (T.level_of 8);
+  check_int "level 2^20" 20 (T.level_of (1 lsl 20));
+  check_int "level 2^20+5" 20 (T.level_of ((1 lsl 20) + 5))
+
+let is_leaf () =
+  check "1 is leaf at depth 1" true (T.is_leaf 1 ~depth:1);
+  check "1 not leaf at depth 2" false (T.is_leaf 1 ~depth:2);
+  check "2 leaf at depth 2" true (T.is_leaf 2 ~depth:2);
+  check "3 leaf at depth 2" true (T.is_leaf 3 ~depth:2);
+  check "2 not leaf at depth 3" false (T.is_leaf 2 ~depth:3);
+  check "4..7 leaves at depth 3" true
+    (List.for_all (fun i -> T.is_leaf i ~depth:3) [ 4; 5; 6; 7 ]);
+  check "8 not leaf at depth 3" false (T.is_leaf 8 ~depth:3)
+
+let creation_and_get () =
+  let t = make_tree ~init_depth:3 () in
+  check_int "depth" 3 (T.depth t);
+  (* all 7 nodes reachable and distinct: writing each a distinct value
+     must not clobber any other *)
+  let slots = List.init 7 (fun i -> T.get t (i + 1)) in
+  List.iteri (fun i r -> r := i) slots;
+  List.iteri (fun i r -> check_int "slot content" i !r) slots
+
+let get_unallocated_rejected () =
+  let t = make_tree ~init_depth:1 () in
+  Alcotest.check_raises "level 1 not allocated"
+    (Invalid_argument "Mound.Tree.get: unallocated level") (fun () ->
+      ignore (T.get t 2))
+
+let bad_args_rejected () =
+  Alcotest.check_raises "depth 0"
+    (Invalid_argument "Mound.Tree.create: bad initial depth") (fun () ->
+      ignore (make_tree ~init_depth:0 ()));
+  Alcotest.check_raises "bad threshold"
+    (Invalid_argument "Mound.Tree.create: bad threshold") (fun () ->
+      ignore (make_tree ~threshold:0 ()))
+
+let expansion () =
+  let t = make_tree () in
+  check_int "initial depth" 1 (T.depth t);
+  T.expand t 1;
+  check_int "depth 2" 2 (T.depth t);
+  ignore (T.get t 2);
+  ignore (T.get t 3);
+  (* stale expand is a no-op *)
+  T.expand t 1;
+  check_int "still 2" 2 (T.depth t);
+  T.expand t 2;
+  check_int "depth 3" 3 (T.depth t);
+  ignore (T.get t 7)
+
+let binary_search_on_path () =
+  (* ge over node indices along the ancestor chain of leaf 12 at depth 4:
+     path is 1, 3, 6, 12 (levels 0..3). *)
+  let ge_set set i = List.mem i set in
+  (* ge holds from level 2 down: expect node 6 *)
+  check_int "finds shallowest ge" 6
+    (T.binary_search ~ge:(ge_set [ 6; 12 ]) 12 4);
+  (* ge holds everywhere: expect root *)
+  check_int "root when all ge" 1
+    (T.binary_search ~ge:(ge_set [ 1; 3; 6; 12 ]) 12 4);
+  (* ge holds only at the leaf *)
+  check_int "leaf when only leaf ge" 12 (T.binary_search ~ge:(ge_set [ 12 ]) 12 4);
+  (* depth 1: the root is the leaf *)
+  check_int "depth-1 chain" 1 (T.binary_search ~ge:(fun _ -> true) 1 1)
+
+let find_insert_point_expands () =
+  (* With ge false everywhere, every probe fails and the tree grows each
+     round until ge accepts (here: accept at depth 3). *)
+  let t = make_tree () in
+  let ge i = T.level_of i >= 2 in
+  let c = T.find_insert_point t ~ge in
+  check "returned a level >= 2 node" true (T.level_of c >= 2);
+  check "tree grew to depth 3" true (T.depth t >= 3)
+
+let find_insert_point_probes_leaves () =
+  let t = make_tree ~init_depth:4 () in
+  (* accept any leaf; result must lie on a leaf-to-root chain, i.e. be a
+     valid node of the tree *)
+  for _ = 1 to 100 do
+    let c = T.find_insert_point t ~ge:(fun _ -> true) in
+    check "root when all ge" true (c = 1)
+  done;
+  (* ge true only at leaves: returns a leaf *)
+  let d = T.depth t in
+  for _ = 1 to 100 do
+    let c = T.find_insert_point t ~ge:(fun i -> T.is_leaf i ~depth:d) in
+    check "leaf returned" true (T.is_leaf c ~depth:d)
+  done
+
+let deterministic_with_rand () =
+  let mk () =
+    let rng = Prng.create 77L in
+    make_tree ~init_depth:5 ~rand:(fun b -> Prng.int rng b) ()
+  in
+  let t1 = mk () and t2 = mk () in
+  let picks1 = List.init 50 (fun _ -> T.find_insert_point t1 ~ge:(fun i -> i > 3)) in
+  let picks2 = List.init 50 (fun _ -> T.find_insert_point t2 ~ge:(fun i -> i > 3)) in
+  check "same rand, same picks" true (picks1 = picks2)
+
+let fold_visits_all () =
+  let t = make_tree ~init_depth:3 () in
+  for i = 1 to 7 do
+    T.get t i := i
+  done;
+  let visited = T.fold t (fun acc i slot -> (i, !slot) :: acc) [] in
+  check_int "7 nodes" 7 (List.length visited);
+  check "indices match contents" true
+    (List.for_all (fun (i, v) -> i = v) visited)
+
+let concurrent_expansion () =
+  (* domains race to expand; depth must advance exactly and all rows must
+     be usable afterwards *)
+  let t = make_tree ~init_depth:1 () in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for d = 1 to 10 do
+              T.expand t d
+            done))
+  in
+  List.iter Domain.join doms;
+  check_int "depth 11" 11 (T.depth t);
+  for i = 1 to (1 lsl 11) - 1 do
+    ignore (T.get t i)
+  done
+
+(* property: find_insert_point's result always satisfies ge, and its
+   parent (when not the root) does not — for any monotone-on-paths ge *)
+let prop_insert_point_contract =
+  QCheck.Test.make ~name:"find_insert_point contract" ~count:300
+    QCheck.(pair (int_bound 1000) small_int)
+    (fun (cut, seed) ->
+      (* ge true on nodes with index >= cut+1: anti-monotone along paths
+         (descendants have larger indices), like a mound's val >= v *)
+      let rng = Prng.create (Int64.of_int (seed + 1)) in
+      let t = make_tree ~init_depth:6 ~rand:(fun b -> Prng.int rng b) () in
+      let ge i = i > cut in
+      if not (ge ((1 lsl 6) - 1)) then true (* deepest leaf may fail ge *)
+      else begin
+        let c = T.find_insert_point t ~ge in
+        ge c && (c = 1 || not (ge (c / 2)))
+      end)
+
+let prop_binary_search_boundary =
+  QCheck.Test.make ~name:"binary_search finds the boundary" ~count:300
+    QCheck.(pair (int_bound 5) small_int)
+    (fun (k, leaf_seed) ->
+      (* path of leaf at depth 6; ge holds from level k down *)
+      let d = 6 in
+      let leaf = (1 lsl (d - 1)) + (abs leaf_seed mod (1 lsl (d - 1))) in
+      let path = List.init d (fun lvl -> leaf lsr (d - 1 - lvl)) in
+      let suffix = List.filteri (fun i _ -> i >= k) path in
+      let ge i = List.mem i suffix in
+      T.binary_search ~ge leaf d = List.nth path k)
+
+let () =
+  Alcotest.run "tree"
+    [
+      ( "geometry",
+        [
+          Alcotest.test_case "level_of" `Quick level_of;
+          Alcotest.test_case "is_leaf" `Quick is_leaf;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "creation and get" `Quick creation_and_get;
+          Alcotest.test_case "unallocated get rejected" `Quick
+            get_unallocated_rejected;
+          Alcotest.test_case "bad args rejected" `Quick bad_args_rejected;
+          Alcotest.test_case "expansion" `Quick expansion;
+          Alcotest.test_case "fold visits all" `Quick fold_visits_all;
+          Alcotest.test_case "concurrent expansion" `Quick
+            concurrent_expansion;
+        ] );
+      ( "insert point search",
+        [
+          Alcotest.test_case "binary search on path" `Quick
+            binary_search_on_path;
+          Alcotest.test_case "expands when no leaf fits" `Quick
+            find_insert_point_expands;
+          Alcotest.test_case "probes leaves" `Quick
+            find_insert_point_probes_leaves;
+          Alcotest.test_case "deterministic with seeded rand" `Quick
+            deterministic_with_rand;
+          QCheck_alcotest.to_alcotest prop_insert_point_contract;
+          QCheck_alcotest.to_alcotest prop_binary_search_boundary;
+        ] );
+    ]
