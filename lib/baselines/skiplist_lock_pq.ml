@@ -16,6 +16,8 @@
     (where the book's ordering argument does not directly apply). *)
 
 module Make (R : Runtime.S) (Ord : Mound.Intf.ORDERED) = struct
+  module B = Runtime.Backoff.Make (R)
+
   type elt = Ord.t
 
   let max_height = 20
@@ -76,10 +78,7 @@ module Make (R : Runtime.S) (Ord : Mound.Intf.ORDERED) = struct
      retry timing is exactly what must be avoided: two threads whose
      retries re-align forever livelock under a deterministic scheduler
      (and waste cycles on real hardware). *)
-  let backoff () =
-    for _ = 0 to R.rand_int 24 do
-      R.cpu_relax ()
-    done
+  let backoff () = B.jitter ()
 
   let random_height () =
     let rec flip h =

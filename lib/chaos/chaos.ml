@@ -1,0 +1,174 @@
+(** Deterministic fault injection at the runtime boundary.
+
+    {!Make} wraps any {!Runtime.S} in another {!Runtime.S} whose atomic
+    operations misbehave according to a seeded {!plan}:
+
+    - {e spurious [compare_and_set] failures} — the CAS returns [false]
+      without touching memory, the weak-CAS (LL/SC) failure mode. Code
+      that infers "someone else must have done it" from a failed CAS is
+      exactly what this flushes out; every structure in the repository
+      is written (and tested) to tolerate it.
+    - {e adversarial delay bursts} — a run of [cpu_relax] hints injected
+      just before an atomic operation, i.e. at the worst moment: between
+      a read and the CAS that validates it. Under the simulator a burst
+      advances the thread's virtual clock, so the scheduler runs every
+      other thread through the widened window.
+    - {e biased scheduling pressure} — one victim thread can be given a
+      multiplied fault rate, which under smallest-clock-first scheduling
+      systematically starves it relative to its peers.
+
+    Because every concurrent structure here is a functor over
+    {!Runtime.S}, chaos composes with all of them, and with the
+    simulator's crash-stop plans ([Sim.Sched.run ~crashes]): instantiate
+    a structure with [Chaos.Make (Sim.Runtime)] and both fault sources
+    apply at once.
+
+    Determinism: one functor application holds one fault stream. Under
+    the single-OS-thread simulator a given [(plan, scheduler seed, crash
+    plan)] reproduces the same fault sequence and the same counters,
+    byte for byte. Over [Runtime.Real] the injection still works but the
+    stream is shared racily between domains, so it is adversarial rather
+    than reproducible. *)
+
+type plan = {
+  seed : int64;  (** seeds the fault stream *)
+  cas_fail_permil : int;
+      (** ‰ chance a [compare_and_set] fails spuriously (0–1000) *)
+  delay_permil : int;
+      (** ‰ chance of a delay burst before an atomic operation *)
+  delay_relax : int;  (** [cpu_relax] hints per injected burst *)
+  bias_tid : int;  (** thread whose fault rates are multiplied; -1: none *)
+  bias_factor : int;  (** rate multiplier for [bias_tid] *)
+}
+
+(** No faults at all; the wrapped runtime behaves identically to [R]
+    apart from operation counting. *)
+let quiet =
+  {
+    seed = 1L;
+    cas_fail_permil = 0;
+    delay_permil = 0;
+    delay_relax = 0;
+    bias_tid = -1;
+    bias_factor = 1;
+  }
+
+(** A moderate default storm: ~3% spurious CAS failures, ~2% delay
+    bursts of 64 pauses, no bias. *)
+let default ~seed =
+  {
+    seed;
+    cas_fail_permil = 30;
+    delay_permil = 20;
+    delay_relax = 64;
+    bias_tid = -1;
+    bias_factor = 4;
+  }
+
+(** Injection and operation counters. Mutable and live: read them after
+    (or during) a run. On [Runtime.Real] the increments are racy —
+    counters are diagnostics, not synchronization. *)
+type counters = {
+  mutable gets : int;
+  mutable sets : int;
+  mutable cas : int;  (** [compare_and_set] attempts, injected or real *)
+  mutable rmw : int;  (** [exchange] + [fetch_and_add] *)
+  mutable spurious_failures : int;  (** CAS attempts failed by injection *)
+  mutable delays : int;  (** delay bursts injected *)
+}
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "gets %d, sets %d, cas %d, rmw %d; injected: %d spurious CAS \
+     failures, %d delay bursts"
+    c.gets c.sets c.cas c.rmw c.spurious_failures c.delays
+
+module Make (R : Runtime.S) = struct
+  let plan = ref quiet
+  let rng = ref (Prng.create quiet.seed)
+
+  let counters =
+    { gets = 0; sets = 0; cas = 0; rmw = 0; spurious_failures = 0; delays = 0 }
+
+  let reset_counters () =
+    counters.gets <- 0;
+    counters.sets <- 0;
+    counters.cas <- 0;
+    counters.rmw <- 0;
+    counters.spurious_failures <- 0;
+    counters.delays <- 0
+
+  (** Install a plan, reseeding the fault stream and zeroing the
+      counters: two runs configured identically behave identically. *)
+  let configure p =
+    plan := p;
+    rng := Prng.create p.seed;
+    reset_counters ()
+
+  let current_plan () = !plan
+
+  (* Effective rate for the calling thread: the biased victim sees its
+     rates multiplied. *)
+  let rate permil =
+    let p = !plan in
+    if p.bias_tid >= 0 && R.self () = p.bias_tid then
+      min 1000 (permil * p.bias_factor)
+    else permil
+
+  let roll permil = permil > 0 && Prng.int !rng 1000 < permil
+
+  let maybe_delay () =
+    let p = !plan in
+    if roll (rate p.delay_permil) then begin
+      counters.delays <- counters.delays + 1;
+      for _ = 1 to p.delay_relax do
+        R.cpu_relax ()
+      done
+    end
+
+  module Atomic = struct
+    type 'a t = 'a R.Atomic.t
+
+    let make = R.Atomic.make
+
+    let get r =
+      counters.gets <- counters.gets + 1;
+      maybe_delay ();
+      R.Atomic.get r
+
+    let set r v =
+      counters.sets <- counters.sets + 1;
+      maybe_delay ();
+      R.Atomic.set r v
+
+    let compare_and_set r expected v =
+      counters.cas <- counters.cas + 1;
+      maybe_delay ();
+      if roll (rate !plan.cas_fail_permil) then begin
+        (* Weak-CAS failure: memory untouched, no ordering implied. *)
+        counters.spurious_failures <- counters.spurious_failures + 1;
+        false
+      end
+      else R.Atomic.compare_and_set r expected v
+
+    (* The unconditional read-modify-writes cannot fail on any hardware
+       we model, so they only suffer delays. *)
+    let exchange r v =
+      counters.rmw <- counters.rmw + 1;
+      maybe_delay ();
+      R.Atomic.exchange r v
+
+    let fetch_and_add r n =
+      counters.rmw <- counters.rmw + 1;
+      maybe_delay ();
+      R.Atomic.fetch_and_add r n
+  end
+
+  let cpu_relax = R.cpu_relax
+  let self = R.self
+  let rand_int = R.rand_int
+end
+
+(* The wrapped module really is a runtime; catch drift here, not at
+   every instantiation site. *)
+module Check (R : Runtime.S) : Runtime.S = Make (R)

@@ -1,0 +1,64 @@
+(** Deterministic fault injection at the runtime boundary.
+
+    [Chaos.Make (R)] is a {!Runtime.S} that behaves like [R] except that
+    its atomic operations misbehave according to a seeded {!plan}:
+    spurious [compare_and_set] failures (the weak-CAS / LL/SC failure
+    mode, memory untouched), adversarial delay bursts injected just
+    before atomic operations, and per-thread biased fault rates. Since
+    every concurrent structure in the repository is a functor over
+    {!Runtime.S}, chaos composes with all of them — and with the
+    simulator's crash-stop plans ([Sim.Sched.run ~crashes]) when wrapped
+    around [Sim.Runtime].
+
+    Under the simulator a given [(plan, scheduler seed, crash plan)]
+    reproduces the same fault sequence and counters byte for byte; over
+    [Runtime.Real] the fault stream is racy and therefore adversarial
+    rather than reproducible. *)
+
+type plan = {
+  seed : int64;  (** seeds the fault stream *)
+  cas_fail_permil : int;
+      (** ‰ chance a [compare_and_set] fails spuriously (0–1000) *)
+  delay_permil : int;
+      (** ‰ chance of a delay burst before an atomic operation *)
+  delay_relax : int;  (** [cpu_relax] hints per injected burst *)
+  bias_tid : int;  (** thread whose fault rates are multiplied; -1: none *)
+  bias_factor : int;  (** rate multiplier for [bias_tid] *)
+}
+
+val quiet : plan
+(** No faults; the wrapper only counts operations. *)
+
+val default : seed:int64 -> plan
+(** A moderate storm: ~3% spurious CAS failures, ~2% delay bursts of 64
+    pauses, no bias. *)
+
+(** Injection and operation counters; mutable and live. Racy on
+    [Runtime.Real] — diagnostics, not synchronization. *)
+type counters = {
+  mutable gets : int;
+  mutable sets : int;
+  mutable cas : int;  (** [compare_and_set] attempts, injected or real *)
+  mutable rmw : int;  (** [exchange] + [fetch_and_add] *)
+  mutable spurious_failures : int;  (** CAS attempts failed by injection *)
+  mutable delays : int;  (** delay bursts injected *)
+}
+
+val pp_counters : Format.formatter -> counters -> unit
+
+(** One functor application holds one fault stream and one counter set;
+    apply it once per experiment site and {!configure} between runs. *)
+module Make (R : Runtime.S) : sig
+  include Runtime.S with type 'a Atomic.t = 'a R.Atomic.t
+
+  val configure : plan -> unit
+  (** Install a plan, reseed the fault stream and zero the counters: two
+      runs configured identically behave identically (under the
+      simulator). *)
+
+  val current_plan : unit -> plan
+
+  val counters : counters
+
+  val reset_counters : unit -> unit
+end

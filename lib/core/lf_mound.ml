@@ -25,12 +25,13 @@
 module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
   module M = Mcas.Make (R.Atomic)
   module T = Tree.Make (R)
+  module B = Runtime.Backoff.Make (R)
 
   type elt = Ord.t
 
   type mnode = { list : elt list; dirty : bool; seq : int }
 
-  type t = { tree : mnode M.loc T.t }
+  type t = { tree : mnode M.loc T.t; ops : Stats.Ops.t }
 
   let vcompare = Intf.Value.compare Ord.compare
 
@@ -38,7 +39,12 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   let create ?threshold ?init_depth () =
     let make_slot () = M.make { list = []; dirty = false; seq = 0 } in
-    { tree = T.create ?threshold ?init_depth make_slot }
+    { tree = T.create ?threshold ?init_depth make_slot; ops = Stats.Ops.create () }
+
+  (** Retry / helping / backoff counters since creation. Exact and
+      deterministic under the simulator; racy (diagnostic) on real
+      domains. *)
+  let ops t = t.ops
 
   let depth t = T.depth t.tree
 
@@ -63,10 +69,13 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
       let left = M.get lslot in
       let right = M.get rslot in
       if left.dirty then begin
+        (* dirtied by another operation: helping (L41–L44) *)
+        t.ops.helps <- t.ops.helps + 1;
         moundify t (2 * n);
         moundify t n
       end
       else if right.dirty then begin
+        t.ops.helps <- t.ops.helps + 1;
         moundify t ((2 * n) + 1);
         moundify t n
       end
@@ -107,9 +116,36 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   (* ----- insert ----- *)
 
-  let rec insert t v =
+  (* After this many failed candidate selections, stop re-rolling random
+     leaves and take the deterministic escape hatch below. *)
+  let max_insert_rounds = 8
+
+  (* The paper's escape hatch for repeated selection failures: abandon
+     randomized probing and binary-search the leftmost root-to-leaf
+     chain (falling back toward the root — the root itself is the
+     candidate when [v] dominates the whole chain). If even the leftmost
+     leaf does not dominate [v], the tree grows a level; a fresh leaf is
+     empty (⊤), so this loop always produces a candidate without further
+     randomization. *)
+  let rec fallback_point t ~ge =
+    let d = T.depth t.tree in
+    let leaf = 1 lsl (d - 1) in
+    if ge leaf then T.binary_search ~ge leaf d
+    else begin
+      T.expand t.tree d;
+      fallback_point t ~ge
+    end
+
+  let rec insert_attempt t v round =
     let ge i = Intf.Value.ge_elt Ord.compare (node_value (read t i)) v in
-    let c = T.find_insert_point t.tree ~ge in
+    let c =
+      if round < max_insert_rounds then T.find_insert_point t.tree ~ge
+      else begin
+        if round = max_insert_rounds then
+          t.ops.root_fallbacks <- t.ops.root_fallbacks + 1;
+        fallback_point t ~ge
+      end
+    in
     let cslot = T.get t.tree c in
     let cur = M.get cslot in
     (* Double-check the candidate (L7): probing was unsynchronized. *)
@@ -117,7 +153,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
       let fresh = { list = v :: cur.list; dirty = cur.dirty; seq = cur.seq + 1 } in
       if c = 1 then begin
         (* Root insert linearizes with a plain CAS (L9–L10). *)
-        if not (M.cas cslot cur fresh) then insert t v
+        if not (M.cas cslot cur fresh) then insert_retry t v round
       end
       else begin
         let pslot = T.get t.tree (c / 2) in
@@ -125,12 +161,26 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
         if Intf.Value.le_elt Ord.compare (node_value parent) v then begin
           (* DCSS: write the child only if the parent is unchanged
              (L12–L14). *)
-          if not (M.dcss pslot parent cslot cur fresh) then insert t v
+          if not (M.dcss pslot parent cslot cur fresh) then
+            insert_retry t v round
         end
-        else insert t v
+        else insert_retry t v round
       end
     end
-    else insert t v
+    else insert_retry t v round
+
+  (* A first failure retries immediately (benign race, exactly the
+     paper's loop); sustained failure backs off exponentially so
+     contending inserters spread out instead of re-colliding. *)
+  and insert_retry t v round =
+    t.ops.insert_retries <- t.ops.insert_retries + 1;
+    if round > 0 then begin
+      t.ops.insert_backoffs <- t.ops.insert_backoffs + 1;
+      B.exponential ~cap_bits:6 (round - 1)
+    end;
+    insert_attempt t v (round + 1)
+
+  let insert t v = insert_attempt t v 0
 
   (** Alternative insert for the ablation study: the paper's §III-D opens
       with "the simplest technique for making insert lock-free is to use a
@@ -223,6 +273,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
     let root = M.get slot in
     if root.dirty then begin
       (* An extraction is mid-flight; help restore the property (L24–L26). *)
+      t.ops.helps <- t.ops.helps + 1;
       moundify t 1;
       extract_min t
     end
@@ -235,7 +286,10 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
             moundify t 1;
             Some hd
           end
-          else extract_min t
+          else begin
+            t.ops.extract_retries <- t.ops.extract_retries + 1;
+            extract_min t
+          end
 
   (** Take the root's whole sorted list in one linearizable step (§V):
       the same protocol as [extract_min], with the list emptied rather
@@ -244,6 +298,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
     let slot = T.get t.tree 1 in
     let root = M.get slot in
     if root.dirty then begin
+      t.ops.helps <- t.ops.helps + 1;
       moundify t 1;
       extract_many t
     end
@@ -256,7 +311,10 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
             moundify t 1;
             taken
           end
-          else extract_many t
+          else begin
+            t.ops.extract_retries <- t.ops.extract_retries + 1;
+            extract_many t
+          end
 
   (** Probabilistic extract-min (§V): any non-dirty node is the root of a
       sub-mound, so extracting from a random node within the first
@@ -298,6 +356,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
   let rec peek_min t =
     let root = read t 1 in
     if root.dirty then begin
+      t.ops.helps <- t.ops.helps + 1;
       moundify t 1;
       peek_min t
     end

@@ -22,7 +22,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   type lnode = { list : elt list; locked : bool }
 
-  type t = { tree : lnode R.Atomic.t T.t }
+  type t = { tree : lnode R.Atomic.t T.t; ops : Stats.Ops.t }
 
   let vcompare = Intf.Value.compare Ord.compare
 
@@ -30,19 +30,24 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   let create ?threshold ?init_depth () =
     let make_slot () = R.Atomic.make { list = []; locked = false } in
-    { tree = T.create ?threshold ?init_depth make_slot }
+    { tree = T.create ?threshold ?init_depth make_slot; ops = Stats.Ops.create () }
+
+  (** Spin / retry counters since creation. Exact and deterministic
+      under the simulator; racy (diagnostic) on real domains. *)
+  let ops t = t.ops
 
   let depth t = T.depth t.tree
 
   (* Spin until the node is acquired; returns the contents observed at
      acquisition time (paper F1–F4). *)
-  let rec set_lock slot =
+  let rec set_lock t slot =
     let n = R.Atomic.get slot in
     if (not n.locked) && R.Atomic.compare_and_set slot n { list = n.list; locked = true }
     then n
     else begin
+      t.ops.lock_spins <- t.ops.lock_spins + 1;
       R.cpu_relax ();
-      set_lock slot
+      set_lock t slot
     end
 
   let unlock slot list = R.Atomic.set slot { list; locked = false }
@@ -56,8 +61,8 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
     if T.is_leaf n ~depth:d then unlock slot nlist
     else begin
       let lslot = T.get t.tree (2 * n) and rslot = T.get t.tree ((2 * n) + 1) in
-      let left = set_lock lslot in
-      let right = set_lock rslot in
+      let left = set_lock t lslot in
+      let right = set_lock t rslot in
       let vn = match nlist with [] -> None | x :: _ -> Some x
       and vl = node_value left
       and vr = node_value right in
@@ -84,7 +89,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   let extract_min t =
     let slot = T.get t.tree 1 in
-    let root = set_lock slot in
+    let root = set_lock t slot in
     match root.list with
     | [] ->
         unlock slot [];
@@ -100,7 +105,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
       emptied instead of beheaded. *)
   let extract_many t =
     let slot = T.get t.tree 1 in
-    let root = set_lock slot in
+    let root = set_lock t slot in
     match root.list with
     | [] ->
         unlock slot [];
@@ -120,7 +125,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
     let span = (1 lsl (lvl + 1)) - 1 in
     let n = 1 + R.rand_int span in
     let slot = T.get t.tree n in
-    let node = set_lock slot in
+    let node = set_lock t slot in
     match node.list with
     | [] ->
         unlock slot [];
@@ -137,19 +142,20 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
     let c = T.find_insert_point t.tree ~ge in
     let cslot = T.get t.tree c in
     if c = 1 then begin
-      let root = set_lock cslot in
+      let root = set_lock t cslot in
       if Intf.Value.ge_elt Ord.compare (node_value root) v then
         unlock cslot (v :: root.list)
       else begin
         unlock cslot root.list;
+        t.ops.insert_retries <- t.ops.insert_retries + 1;
         insert t v
       end
     end
     else begin
       (* Parent before child, matching moundify's order (F45–F46). *)
       let pslot = T.get t.tree (c / 2) in
-      let parent = set_lock pslot in
-      let child = set_lock cslot in
+      let parent = set_lock t pslot in
+      let child = set_lock t cslot in
       if
         Intf.Value.ge_elt Ord.compare (node_value child) v
         && Intf.Value.le_elt Ord.compare (node_value parent) v
@@ -160,6 +166,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
       else begin
         unlock pslot parent.list;
         unlock cslot child.list;
+        t.ops.insert_retries <- t.ops.insert_retries + 1;
         insert t v
       end
     end
@@ -189,7 +196,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
             let c = T.find_insert_point t.tree ~ge in
             let cslot = T.get t.tree c in
             if c = 1 then begin
-              let root = set_lock cslot in
+              let root = set_lock t cslot in
               if Intf.Value.ge_elt Ord.compare (node_value root) lst then
                 unlock cslot (batch @ root.list)
               else begin
@@ -199,8 +206,8 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
             end
             else begin
               let pslot = T.get t.tree (c / 2) in
-              let parent = set_lock pslot in
-              let child = set_lock cslot in
+              let parent = set_lock t pslot in
+              let child = set_lock t cslot in
               if
                 Intf.Value.ge_elt Ord.compare (node_value child) lst
                 && Intf.Value.le_elt Ord.compare (node_value parent) hd
@@ -220,7 +227,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   let peek_min t =
     let slot = T.get t.tree 1 in
-    let root = set_lock slot in
+    let root = set_lock t slot in
     unlock slot root.list;
     node_value root
 

@@ -6,6 +6,55 @@
     Tables I–III report the levels that are not 100% full; Table IV
     reports the average list length and average stored value per level. *)
 
+(** Dynamic operation counters for the concurrent variants: retries,
+    helping and backoff, the progress-behaviour numbers that Tables I–IV
+    style fullness reports say nothing about. Counters are mutable and
+    maintained racily on real domains (diagnostics, not
+    synchronization); under the simulator they are exact and
+    deterministic. The chaos harness ([repro chaos]) prints them
+    alongside the fullness tables. *)
+module Ops = struct
+  type t = {
+    mutable insert_retries : int;
+        (** failed candidate validations / CAS / DCSS during insert *)
+    mutable insert_backoffs : int;  (** backoff pauses taken by insert *)
+    mutable root_fallbacks : int;
+        (** inserts that abandoned randomized probing for the
+            deterministic root-chain escape hatch *)
+    mutable extract_retries : int;  (** failed extraction CAS attempts *)
+    mutable helps : int;
+        (** operations that completed another thread's work (moundify on
+            a node someone else dirtied) *)
+    mutable lock_spins : int;
+        (** failed lock acquisitions (locking variant only) *)
+  }
+
+  let create () =
+    {
+      insert_retries = 0;
+      insert_backoffs = 0;
+      root_fallbacks = 0;
+      extract_retries = 0;
+      helps = 0;
+      lock_spins = 0;
+    }
+
+  let reset c =
+    c.insert_retries <- 0;
+    c.insert_backoffs <- 0;
+    c.root_fallbacks <- 0;
+    c.extract_retries <- 0;
+    c.helps <- 0;
+    c.lock_spins <- 0
+
+  let pp ppf c =
+    Format.fprintf ppf
+      "insert retries %d (backoffs %d, root fallbacks %d), extract \
+       retries %d, helps %d, lock spins %d"
+      c.insert_retries c.insert_backoffs c.root_fallbacks c.extract_retries
+      c.helps c.lock_spins
+end
+
 type level = {
   level : int;
   capacity : int;  (** 2^level nodes *)

@@ -58,15 +58,23 @@ module Make (R : Runtime.S) = struct
     | None -> invalid_arg "Mound.Tree.get: unallocated level"
 
   (* Publish row [d] (the new leaf level) if needed, then try to advance
-     the depth. Failure of either CAS means another thread did the same
-     work, which is all the caller needs. *)
+     the depth. The publish loops until the row is observably [Some]:
+     under weak-CAS semantics (the chaos runtime's spurious failures) a
+     failed CAS does not imply another thread published the row, and
+     advancing [depth] past an unpublished row would make [get] fail.
+     The depth CAS needs no such loop — callers re-read [depth] and call
+     [expand] again if it has not moved. *)
   let expand t d =
     if d >= max_levels then failwith "Mound.Tree.expand: tree is full";
-    (match R.Atomic.get t.rows.(d) with
-    | Some _ -> ()
-    | None ->
-        let row = Array.init (1 lsl d) (fun _ -> t.make_slot ()) in
-        ignore (R.Atomic.compare_and_set t.rows.(d) None (Some row)));
+    let row = lazy (Array.init (1 lsl d) (fun _ -> t.make_slot ())) in
+    let rec publish () =
+      match R.Atomic.get t.rows.(d) with
+      | Some _ -> ()
+      | None ->
+          ignore (R.Atomic.compare_and_set t.rows.(d) None (Some (Lazy.force row)));
+          publish ()
+    in
+    publish ();
     ignore (R.Atomic.compare_and_set t.depth d (d + 1))
 
   (* Binary search along the ancestor chain of [leaf] (depth [d] levels)

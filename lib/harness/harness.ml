@@ -12,7 +12,10 @@
       real domains);
     - {!Pq}: uniform handles over every priority-queue implementation;
     - {!Workload}: panel and key-order definitions;
-    - {!Barrier}: start-line synchronization for real-domain runs. *)
+    - {!Barrier}: start-line synchronization for real-domain runs;
+    - {!Lin}: Wing–Gong linearizability checking of recorded histories;
+    - {!Chaos_exp}: crash-stop sweeps under fault injection — the
+      progress-guarantee evaluation behind [repro chaos]. *)
 
 module Barrier = Barrier
 module Pq = Pq
@@ -23,3 +26,4 @@ module Tables = Tables
 module Fig2 = Fig2
 module Ablation = Ablation
 module Lin = Lin
+module Chaos_exp = Chaos_exp

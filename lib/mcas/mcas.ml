@@ -71,12 +71,22 @@ module Make (A : Runtime.ATOMIC) = struct
   let make v = { st = A.make (V v); id = Stdlib.Atomic.fetch_and_add next_id 1 }
 
   (* Resolve an RDCSS descriptor found in [rd.loc]: install the CASN
-     descriptor if its status is still undecided, otherwise restore the
-     expected value. Every thread that sees the descriptor performs this
-     same CAS, so exactly one takes effect. *)
+     descriptor unless the operation already failed, in which case the
+     expected value is restored. Every thread that sees the descriptor
+     performs this same CAS, so exactly one takes effect.
+
+     The guard is [== Failed], not [== Undecided], deliberately: under
+     weak-CAS semantics (the chaos runtime's spurious failures) an RDCSS
+     descriptor can linger past a successful decision — the installer's
+     completing CAS failed spuriously, nobody else resolved it, and the
+     CASN decided [Succeeded] believing the location installed. Restoring
+     [exp] then would undo a committed operation; installing [c_state]
+     instead hands the location to the ordinary write-back/helping path.
+     Under strong CAS a descriptor never survives the decision, so the
+     two guards are equivalent there. *)
   let rdcss_complete rd =
     let installed =
-      if A.get rd.casn.status == Undecided then rd.casn.c_state else V rd.exp
+      if A.get rd.casn.status == Failed then V rd.exp else rd.casn.c_state
     in
     ignore (A.compare_and_set rd.loc.st rd.r_state installed)
 
@@ -121,8 +131,13 @@ module Make (A : Runtime.ATOMIC) = struct
     let outcome =
       if A.get d.status == Undecided then install 0 else A.get d.status
     in
-    if A.get d.status == Undecided then
-      ignore (A.compare_and_set d.status Undecided outcome);
+    (* Decide. Loop rather than fire-and-forget: a spurious failure of
+       the decision CAS (weak-CAS semantics) would otherwise leave the
+       status [Undecided] while this helper proceeds to restore values —
+       and a later helper would then re-execute the whole operation. *)
+    while A.get d.status == Undecided do
+      ignore (A.compare_and_set d.status Undecided outcome)
+    done;
     let success = A.get d.status == Succeeded in
     (* Phase 2: write back. Failed helpers' CASes fail harmlessly. *)
     Array.iter

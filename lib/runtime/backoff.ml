@@ -1,0 +1,34 @@
+(** Randomized backoff, shared by every retry loop in the repository.
+
+    Lives in the runtime library because backoff is a property of the
+    execution environment, not of any one structure: the pauses are
+    [cpu_relax] hints and the jitter comes from the runtime's
+    thread-local generator, so under the simulator a backoff advances
+    virtual time deterministically while never yielding.
+
+    Randomization is load-bearing, not cosmetic: two threads whose
+    retries re-align forever livelock under a deterministic scheduler
+    (see the skiplist livelock regression in [test_sim_concurrent]), and
+    waste coherence bandwidth on real hardware. *)
+
+module Make (R : Intf.S) = struct
+  (** [jitter ?bound ()] pauses for a uniformly random number of
+      [cpu_relax] hints in [\[1, bound+1\]] — the flat backoff used after
+      a failed optimistic attempt where contention is expected to be
+      momentary (try-lock loops). *)
+  let jitter ?(bound = 24) () =
+    for _ = 0 to R.rand_int bound do
+      R.cpu_relax ()
+    done
+
+  (** [exponential ?cap_bits round] pauses for a random number of
+      [cpu_relax] hints drawn from [\[1, 2^min round cap_bits\]] —
+      capped randomized exponential backoff for loops whose failures
+      signal sustained contention (transaction aborts, repeated failed
+      CAS/DCSS). [round] counts consecutive failures, starting at 0. *)
+  let exponential ?(cap_bits = 10) round =
+    let cap = 1 lsl min round cap_bits in
+    for _ = 0 to R.rand_int cap do
+      R.cpu_relax ()
+    done
+end

@@ -5,6 +5,7 @@
 
 module Intf = Intf
 module Real = Real
+module Backoff = Backoff
 
 module type ATOMIC = Intf.ATOMIC
 module type S = Intf.S

@@ -10,9 +10,21 @@
     surface as extra virtual cycles exactly where the algorithms generate
     them.
 
+    Fault model (crash-stop): a thread can be killed — by a declarative
+    crash plan ([~crashes], "thread [i] dies at its [k]-th shared
+    access"), by {!kill}, or by the virtual-time watchdog. A killed
+    thread's fiber is discontinued (unwound), never resumed and never
+    leaked; the shared access it died at is charged but {e not}
+    performed, so the thread drops dead while any descriptor or lock bit
+    it holds is still published. The watchdog bounds the virtual clock:
+    when every remaining runnable thread is past the bound, they are
+    reported as wedged instead of spinning forever — which is what turns
+    "a crashed lock holder blocks everyone" from a hang into a test
+    outcome.
+
     The scheduler is strictly single-OS-thread and fully deterministic in
-    [(seed, thread bodies)]. At most one simulation can be active per
-    domain at a time. *)
+    [(seed, crash plan, thread bodies)]. At most one simulation can be
+    active per domain at a time. *)
 
 type access = Read | Write | Cas
 
@@ -22,6 +34,9 @@ type thread = {
   mutable clock : int;
   mutable slice : int;
   mutable yields : int;
+  mutable crash_at : int;  (* die at this shared-access count; max_int = never *)
+  mutable doomed : bool;  (* kill requested from outside the thread *)
+  mutable dead : bool;  (* crashed (plan, kill or watchdog) *)
 }
 
 type t = {
@@ -29,6 +44,7 @@ type t = {
   nthreads : int;
   load : float;
   oversubscribed : bool;
+  threads : thread array;
   mutable reads : int;
   mutable writes : int;
   mutable cases : int;  (* CAS-class operations: cas/exchange/fetch_add *)
@@ -38,12 +54,20 @@ type result = {
   span : int;  (** max final thread clock, in virtual cycles *)
   clocks : int array;
   yields : int;  (** total shared-memory events *)
+  accesses : int array;  (** per-thread shared-memory events *)
   reads : int;  (** shared reads issued *)
   writes : int;  (** shared unconditional writes issued *)
   cases : int;  (** CAS-class read-modify-writes issued *)
+  killed : int list;  (** tids crashed by plan or {!kill}, ascending *)
+  wedged : int list;  (** tids stopped by the watchdog, ascending *)
 }
 
 type _ Effect.t += Yield : unit Effect.t
+
+exception Thread_killed
+(** Raised inside a fiber to crash-stop it. Simulated code must let it
+    propagate: catching it would resurrect a thread the fault plan
+    declared dead. *)
 
 let active_sched : t option ref = ref None
 let active_thread : thread option ref = ref None
@@ -88,14 +112,38 @@ let with_active f =
 let work cost = with_active (fun sched th -> local_charge sched th cost)
 
 (** Charge [cost] and yield; the thread resumes once it has the smallest
-    virtual clock. All shared-memory accesses funnel through this. *)
+    virtual clock. All shared-memory accesses funnel through this, so it
+    is also where a crash plan fires: the dying access is charged and
+    counted, but the thread unwinds before the access is performed. *)
 let consume cost =
   match (!active_sched, !active_thread) with
   | Some sched, Some th ->
       local_charge sched th cost;
       th.yields <- th.yields + 1;
+      if th.dead || th.doomed || th.yields >= th.crash_at then begin
+        th.dead <- true;
+        raise Thread_killed
+      end;
       Effect.perform Yield
   | _ -> ()
+
+(** [kill tid] crash-stops simulated thread [tid]: it will never execute
+    another shared access. Killing the calling thread takes effect
+    immediately (this call does not return); killing a peer takes effect
+    before its next resumption. Only meaningful inside a simulation. *)
+let kill tid =
+  match !active_sched with
+  | None -> invalid_arg "Sim.Sched.kill: no active simulation"
+  | Some sched ->
+      if tid < 0 || tid >= sched.nthreads then
+        invalid_arg "Sim.Sched.kill: no such thread";
+      let target = sched.threads.(tid) in
+      target.doomed <- true;
+      (match !active_thread with
+      | Some th when th.tid = tid ->
+          th.dead <- true;
+          raise Thread_killed
+      | _ -> ())
 
 let access_cost (kind : access) ~hit =
   match !active_sched with
@@ -144,12 +192,13 @@ let rand_int bound =
 
 type outcome =
   | Finished
+  | Died  (** unwound by {!Thread_killed} *)
   | Suspended of (unit, outcome) Effect.Shallow.continuation
 
 let handler : (outcome, outcome) Effect.Shallow.handler =
   {
     retc = (fun o -> o);
-    exnc = raise;
+    exnc = (function Thread_killed -> Died | e -> raise e);
     effc =
       (fun (type a) (e : a Effect.t) ->
         match e with
@@ -160,23 +209,58 @@ let handler : (outcome, outcome) Effect.Shallow.handler =
         | _ -> None);
   }
 
+(* Unwind a suspended fiber by raising [Thread_killed] at its suspension
+   point, running any cleanup handlers it installed. Cleanup code that
+   yields again is unwound again ([th.dead] makes its next [consume]
+   re-raise); cleanup exceptions are dropped — the thread is dead either
+   way and the caller may already be propagating a primary exception. *)
+let discontinue_thread th k =
+  th.dead <- true;
+  active_thread := Some th;
+  let rec go k =
+    match Effect.Shallow.discontinue_with k Thread_killed handler with
+    | Finished | Died -> ()
+    | Suspended k' -> go k'
+    | exception _ -> ()
+  in
+  go k;
+  active_thread := None
+
 exception Concurrent_simulation
 
-let run ?(profile = Profile.uniform) ?(seed = 42L) bodies =
+let run ?(profile = Profile.uniform) ?(seed = 42L) ?(crashes = [])
+    ?watchdog bodies =
   let n = Array.length bodies in
   if n = 0 then invalid_arg "Sim.Sched.run: no threads";
   if n > 64 then invalid_arg "Sim.Sched.run: at most 64 simulated threads";
   if !active_sched <> None then raise Concurrent_simulation;
   let threads =
     Array.init n (fun i ->
-        { tid = i; rng = Prng.for_thread ~seed ~id:i; clock = 0; slice = 0; yields = 0 })
+        {
+          tid = i;
+          rng = Prng.for_thread ~seed ~id:i;
+          clock = 0;
+          slice = 0;
+          yields = 0;
+          crash_at = max_int;
+          doomed = false;
+          dead = false;
+        })
   in
+  List.iter
+    (fun (tid, k) ->
+      if tid < 0 || tid >= n then
+        invalid_arg "Sim.Sched.run: crash plan names no such thread";
+      if k < 1 then invalid_arg "Sim.Sched.run: crash access count must be >= 1";
+      threads.(tid).crash_at <- min threads.(tid).crash_at k)
+    crashes;
   let sched =
     {
       profile;
       nthreads = n;
       load = Profile.load_factor profile n;
       oversubscribed = n > profile.hw_threads;
+      threads;
       reads = 0;
       writes = 0;
       cases = 0;
@@ -204,10 +288,21 @@ let run ?(profile = Profile.uniform) ?(seed = 42L) bodies =
     incr rr;
     if !best < 0 then None else Some !best
   in
+  let wedged = ref [] in
   active_sched := Some sched;
   let finish () =
     active_sched := None;
     active_thread := None
+  in
+  let unwind_pending () =
+    Array.iteri
+      (fun i k ->
+        match k with
+        | None -> ()
+        | Some k ->
+            pending.(i) <- None;
+            discontinue_thread threads.(i) k)
+      pending
   in
   (try
      let rec loop () =
@@ -217,28 +312,63 @@ let run ?(profile = Profile.uniform) ?(seed = 42L) bodies =
            let th = threads.(i) in
            let k = Option.get pending.(i) in
            pending.(i) <- None;
-           active_thread := Some th;
-           (match Effect.Shallow.continue_with k () handler with
-           | Finished -> ()
-           | Suspended k -> pending.(i) <- Some k);
-           active_thread := None;
-           loop ()
+           if th.doomed then begin
+             discontinue_thread th k;
+             loop ()
+           end
+           else if
+             match watchdog with Some w -> th.clock > w | None -> false
+           then begin
+             (* [th] has the smallest clock of all runnable threads, so
+                every one of them is past the bound: no survivor is
+                making progress. Record and unwind them all. *)
+             pending.(i) <- Some k;
+             Array.iter
+               (fun (th : thread) ->
+                 if pending.(th.tid) <> None then
+                   wedged := th.tid :: !wedged)
+               threads;
+             unwind_pending ()
+           end
+           else begin
+             active_thread := Some th;
+             (match Effect.Shallow.continue_with k () handler with
+             | Finished -> ()
+             | Died -> ()
+             | Suspended k -> pending.(i) <- Some k);
+             active_thread := None;
+             loop ()
+           end
      in
      loop ()
    with e ->
+     (* An exception escaped one thread's body: unwind every other
+        fiber's continuation (running their cleanup handlers) so nothing
+        leaks, then propagate. *)
+     unwind_pending ();
      finish ();
      raise e);
   finish ();
   let clocks = Array.map (fun th -> th.clock) threads in
   let span = Array.fold_left max 0 clocks in
-  let yields =
-    Array.fold_left (fun acc (th : thread) -> acc + th.yields) 0 threads
+  let accesses = Array.map (fun (th : thread) -> th.yields) threads in
+  let yields = Array.fold_left ( + ) 0 accesses in
+  let tids_where pred =
+    Array.to_list threads
+    |> List.filter_map (fun th -> if pred th then Some th.tid else None)
+  in
+  let wedged = List.sort compare !wedged in
+  let killed =
+    tids_where (fun th -> th.dead && not (List.mem th.tid wedged))
   in
   {
     span;
     clocks;
     yields;
+    accesses;
     reads = sched.reads;
     writes = sched.writes;
     cases = sched.cases;
+    killed;
+    wedged;
   }

@@ -9,8 +9,14 @@
     surface as extra virtual cycles exactly where the algorithms generate
     them.
 
+    Crash-stop faults: threads can die — declaratively ([~crashes]), by
+    {!kill}, or via the virtual-time watchdog — with their fibers
+    unwound, not leaked, and the access they died at charged but not
+    performed. See {!run}.
+
     Strictly single-OS-thread; at most one simulation is active per
-    domain at a time; fully deterministic in [(seed, thread bodies)]. *)
+    domain at a time; fully deterministic in
+    [(seed, crash plan, thread bodies)]. *)
 
 (** Classes of shared-memory access, charged differently by profiles. *)
 type access = Read | Write | Cas
@@ -19,20 +25,49 @@ type result = {
   span : int;  (** max final thread clock, in virtual cycles *)
   clocks : int array;  (** per-thread final clocks *)
   yields : int;  (** total shared-memory events *)
+  accesses : int array;
+      (** per-thread shared-memory events; the crash-plan coordinate
+          space: thread [i] can be crashed at any [k] in
+          [\[1, accesses.(i)\]] of a fault-free run *)
   reads : int;  (** shared reads issued *)
   writes : int;  (** shared unconditional writes issued *)
   cases : int;  (** CAS-class read-modify-writes issued *)
+  killed : int list;  (** tids crashed by plan or {!kill}, ascending *)
+  wedged : int list;  (** tids stopped by the watchdog, ascending *)
 }
 
 exception Concurrent_simulation
 (** Raised by {!run} when a simulation is already active. *)
 
+exception Thread_killed
+(** Raised inside a fiber to crash-stop it. Simulated code must let it
+    propagate: catching it would resurrect a thread the fault plan
+    declared dead. *)
+
 val run :
-  ?profile:Profile.t -> ?seed:int64 -> (int -> unit) array -> result
+  ?profile:Profile.t ->
+  ?seed:int64 ->
+  ?crashes:(int * int) list ->
+  ?watchdog:int ->
+  (int -> unit) array ->
+  result
 (** [run bodies] executes [bodies.(i) i] for every [i] as simulated
     threads (at most 64) and returns once all finish. Exceptions escaping
-    a body abort the whole simulation and propagate after the scheduler
-    state is reset. *)
+    a body abort the whole simulation — every other fiber is unwound
+    first, so no continuation leaks — and propagate after the scheduler
+    state is reset.
+
+    [~crashes:\[(i, k); ...\]] crash-stops thread [i] at its [k]-th
+    shared access (1-based): the access is charged and counted but not
+    performed, and the thread never runs again — it dies still holding
+    whatever descriptors or lock bits it had published. Duplicate
+    entries for one thread keep the earliest crash point.
+
+    [~watchdog:w] bounds virtual time: once every remaining runnable
+    thread's clock exceeds [w], they are unwound and reported in
+    [wedged] instead of being resumed — a crashed lock holder therefore
+    produces a result that says who wedged, not a hang. Threads that
+    finish before exceeding [w] are unaffected. *)
 
 (* ---- primitives used by simulated code ---- *)
 
@@ -46,11 +81,20 @@ val now : unit -> int
 (** Virtual time of the calling thread; globally comparable across
     threads of one run. 0 outside a simulation. *)
 
+val kill : int -> unit
+(** [kill i] crash-stops simulated thread [i]: it will never execute
+    another shared access, and its fiber is unwound rather than leaked.
+    Killing the calling thread does not return (it raises
+    {!Thread_killed} through the fiber); killing a peer takes effect
+    before the peer's next resumption. Raises [Invalid_argument] outside
+    a simulation. *)
+
 val work : int -> unit
 (** Charge local (thread-private) work without yielding. *)
 
 val consume : int -> unit
-(** Charge [cost] cycles and yield; no-op outside a simulation. *)
+(** Charge [cost] cycles and yield; no-op outside a simulation. This is
+    also where crash plans fire — see {!run}. *)
 
 val access_cost : access -> hit:bool -> int
 (** Cost of one access under the active profile (0 when inactive). *)

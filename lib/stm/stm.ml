@@ -27,6 +27,8 @@
     with the lock-free mound. *)
 
 module Make (R : Runtime.S) = struct
+  module B = Runtime.Backoff.Make (R)
+
   type vstate = { value : int; version : int; locked : bool }
 
   type tvar = { st : vstate R.Atomic.t; id : int }
@@ -133,10 +135,7 @@ module Make (R : Runtime.S) = struct
       | result -> result
       | exception Abort ->
           (* capped exponential backoff with per-thread jitter *)
-          let cap = 1 lsl min round 10 in
-          for _ = 0 to R.rand_int cap do
-            R.cpu_relax ()
-          done;
+          B.exponential round;
           attempt (round + 1)
     in
     attempt 0

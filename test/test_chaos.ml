@@ -1,0 +1,294 @@
+(* The chaos tier: crash-stop scheduling, fault injection, and the
+   progress-guarantee sweeps.
+
+   The sweeps run a fast crash-point subset by default so `dune runtest`
+   stays quick; set CHAOS_FULL=1 to crash the victim at every one of its
+   shared accesses. Everything here is deterministic in its seeds — a
+   failure replays exactly. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let stride = match Sys.getenv_opt "CHAOS_FULL" with Some _ -> 1 | None -> 7
+
+module SR = Sim.Runtime
+
+(* ---------------- scheduler crash-stop primitives ---------------- *)
+
+(* A declarative crash plan kills the thread at exactly its k-th shared
+   access: the access is charged but not performed, and the thread makes
+   no further progress. *)
+let crash_plan () =
+  let a = SR.Atomic.make 0 in
+  let done_count = ref 0 in
+  let bodies =
+    [|
+      (fun _ ->
+        for i = 1 to 10 do
+          SR.Atomic.set a i;
+          incr done_count
+        done);
+      (fun _ -> for _ = 1 to 10 do ignore (SR.Atomic.get a) done);
+    |]
+  in
+  let r = Sim.Sched.run ~seed:3L ~crashes:[ (0, 4) ] bodies in
+  check "killed" true (r.killed = [ 0 ]);
+  check "no wedge" true (r.wedged = []);
+  check_int "victim stopped at its 4th access" 4 r.accesses.(0);
+  check_int "survivor unaffected" 10 r.accesses.(1);
+  (* the 4th set was charged but not performed: the last landed value is
+     the 3rd, and the post-access increment never ran *)
+  check_int "fatal access not performed" 3 (SR.Atomic.get a);
+  check_int "iterations completed before death" 3 !done_count
+
+(* Remote kill stops a runaway peer; the run terminates. *)
+let remote_kill () =
+  let a = SR.Atomic.make 0 in
+  let bodies =
+    [|
+      (fun _ ->
+        while true do
+          ignore (SR.Atomic.fetch_and_add a 1)
+        done);
+      (fun _ ->
+        for _ = 1 to 20 do
+          ignore (SR.Atomic.get a)
+        done;
+        Sim.Sched.kill 0);
+    |]
+  in
+  let r = Sim.Sched.run ~seed:4L bodies in
+  check "runaway thread killed" true (r.killed = [ 0 ])
+
+(* Self-kill raises through the fiber: code after it never runs. *)
+let self_kill () =
+  let after = ref false in
+  let a = SR.Atomic.make 0 in
+  let bodies =
+    [|
+      (fun _ ->
+        ignore (SR.Atomic.get a);
+        Sim.Sched.kill 0;
+        after := true);
+      (fun _ -> ignore (SR.Atomic.get a));
+    |]
+  in
+  let r = Sim.Sched.run ~seed:5L bodies in
+  check "self-killed" true (r.killed = [ 0 ]);
+  check "continuation not resumed" false !after
+
+(* The virtual-time watchdog converts an endless spin into a reported
+   wedge instead of a hang. *)
+let watchdog_wedge () =
+  let flag = SR.Atomic.make false in
+  let bodies =
+    [|
+      (fun _ ->
+        while not (SR.Atomic.get flag) do
+          SR.cpu_relax ()
+        done);
+      (fun _ -> for _ = 1 to 5 do ignore (SR.Atomic.get flag) done);
+    |]
+  in
+  let r = Sim.Sched.run ~seed:6L ~watchdog:5_000 bodies in
+  check "spinner wedged" true (r.wedged = [ 0 ]);
+  check "finisher not wedged" true (not (List.mem 1 r.wedged));
+  check "wedged is not killed" true (r.killed = [])
+
+(* An exception escaping one body aborts the run, unwinds every other
+   fiber, and leaves the scheduler reusable. *)
+let exception_cleanup () =
+  let a = SR.Atomic.make 0 in
+  let bodies =
+    [|
+      (fun _ ->
+        ignore (SR.Atomic.get a);
+        failwith "boom");
+      (fun _ ->
+        while true do
+          ignore (SR.Atomic.fetch_and_add a 1)
+        done);
+    |]
+  in
+  (match Sim.Sched.run ~seed:7L bodies with
+  | _ -> Alcotest.fail "expected the body's exception to propagate"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+  (* no Concurrent_simulation, no leaked fibers: a fresh run works *)
+  let r = Sim.Sched.run ~seed:7L [| (fun _ -> ignore (SR.Atomic.get a)) |] in
+  check_int "scheduler reusable after abort" 1 r.yields
+
+(* ---------------- fault injection ---------------- *)
+
+module C = Chaos.Make (Sim.Runtime)
+
+let chaos_quiet_counts () =
+  C.configure Chaos.quiet;
+  let a = C.Atomic.make 0 in
+  for _ = 1 to 10 do
+    ignore (C.Atomic.get a)
+  done;
+  check "quiet CAS succeeds" true (C.Atomic.compare_and_set a 0 1);
+  check_int "gets counted" 10 C.counters.gets;
+  check_int "cas counted" 1 C.counters.cas;
+  check_int "quiet injects nothing" 0
+    (C.counters.spurious_failures + C.counters.delays)
+
+let chaos_spurious_failures () =
+  C.configure
+    { (Chaos.default ~seed:5L) with cas_fail_permil = 500; delay_permil = 0 };
+  let a = C.Atomic.make 0 in
+  (* an identity CAS can only fail by injection; drive until one does *)
+  let tries = ref 0 in
+  while C.counters.spurious_failures = 0 && !tries < 1_000 do
+    incr tries;
+    ignore (C.Atomic.compare_and_set a 0 0)
+  done;
+  check "a spurious failure was injected" true
+    (C.counters.spurious_failures > 0);
+  (* memory untouched by failed injections; a retried CAS still lands *)
+  let rec settle n =
+    if C.Atomic.compare_and_set a 0 1 then n else settle (n + 1)
+  in
+  let retries = settle 0 in
+  check_int "value landed despite injection" 1 (C.Atomic.get a);
+  check "weak-CAS semantics: failures are spurious, not lost updates" true
+    (retries >= 0)
+
+let chaos_stream_deterministic () =
+  let record () =
+    C.configure { (Chaos.default ~seed:9L) with cas_fail_permil = 300 };
+    let a = C.Atomic.make 0 in
+    List.init 40 (fun _ -> C.Atomic.compare_and_set a 0 0)
+  in
+  check "same plan, same fault stream" true (record () = record ())
+
+(* ---------------- mcas helping under crash-stop stalls ---------------- *)
+
+module M = Mcas.Make (Harness.Chaos_exp.CR.Atomic)
+
+(* Crash a thread inside [casn] at every one of its shared accesses in
+   turn. Survivors keep reading and identity-rewriting the same
+   locations: lock-freedom says they complete by helping the dead
+   thread's descriptor, and the operation stays all-or-nothing. *)
+let mcas_helping_under_stalls () =
+  Harness.Chaos_exp.CR.configure Chaos.quiet;
+  let x0 = ref 0 and x1 = ref 1 and y0 = ref 10 and y1 = ref 11 in
+  let z0 = ref 20 and z1 = ref 21 in
+  let run crash watchdog =
+    let a = M.make x0 and b = M.make y0 and c = M.make z0 in
+    let bodies =
+      [|
+        (fun _ -> ignore (M.casn [| (a, x0, x1); (b, y0, y1); (c, z0, z1) |]));
+        (fun _ ->
+          for _ = 1 to 8 do
+            let va = M.get a and vb = M.get b in
+            ignore (M.casn [| (a, va, va); (b, vb, vb) |])
+          done);
+        (fun _ ->
+          for _ = 1 to 8 do
+            let vb = M.get b and vc = M.get c in
+            ignore (M.casn [| (b, vb, vb); (c, vc, vc) |])
+          done);
+      |]
+    in
+    let crashes = if crash = 0 then [] else [ (0, crash) ] in
+    let r = Sim.Sched.run ~seed:21L ~crashes ?watchdog bodies in
+    (r, (a, b, c))
+  in
+  let baseline, _ = run 0 None in
+  let watchdog = Some ((4 * baseline.span) + 20_000) in
+  let applied = ref 0 and untouched = ref 0 in
+  for k = 1 to baseline.accesses.(0) do
+    let r, (a, b, c) = run k watchdog in
+    check
+      (Printf.sprintf "crash@%d: survivors complete via helping" k)
+      true (r.wedged = []);
+    check (Printf.sprintf "crash@%d: victim dead" k) true (r.killed = [ 0 ]);
+    (* ambient reads help any still-pending descriptor to a decision *)
+    let va = M.get a and vb = M.get b and vc = M.get c in
+    let all_new = va == x1 && vb == y1 && vc == z1 in
+    let all_old = va == x0 && vb == y0 && vc == z0 in
+    check (Printf.sprintf "crash@%d: casn is all-or-nothing" k) true
+      (all_new || all_old);
+    if all_new then incr applied else incr untouched
+  done;
+  (* the sweep must witness both resolutions: early crashes leave the
+     casn unstarted, late ones leave survivors to finish it *)
+  check "some crash points leave the casn unapplied" true (!untouched > 0);
+  check "some crash points see helpers complete it" true (!applied > 0)
+
+(* ---------------- the progress-guarantee sweeps ---------------- *)
+
+(* Lock-free mound: no crash point may cost the survivors progress,
+   linearizability, or elements. Run twice: the sweep itself must be
+   deterministic in (plan, seed). *)
+let lf_sweep () =
+  let s = Harness.Chaos_exp.sweep_lf ~stride ~seed:11L () in
+  let open Harness.Chaos_exp in
+  check_int "every crash point completed" (List.length s.runs) (completed s);
+  check_int "no wedges" 0 (wedged s);
+  check "every surviving history linearizable" true (all_linearizable s);
+  check "every drain balanced" true (all_conserved s);
+  check "crash space covered" true (s.victim_accesses > 0);
+  check "helping observed across the sweep" true (s.ops.helps > 0);
+  check "faults injected across the sweep" true
+    (s.faults.spurious_failures > 0);
+  let s' = Harness.Chaos_exp.sweep_lf ~stride ~seed:11L () in
+  Alcotest.(check string)
+    "sweep deterministic in (plan, seed)" (fingerprint s) (fingerprint s')
+
+(* Locking mound: some crash point must wedge the survivors, the
+   watchdog must report it (this test terminating is itself the no-hang
+   assertion), and the runs that do complete must still be correct. *)
+let lock_sweep () =
+  let s =
+    Harness.Chaos_exp.sweep_lock ~stride:(max 1 (stride / 2)) ~seed:11L ()
+  in
+  let open Harness.Chaos_exp in
+  check "a crashed lock holder wedges survivors" true (wedged s >= 1);
+  check "wedges are reported, not hidden" true
+    (List.exists
+       (fun r -> match r.outcome with Wedged (_ :: _) -> true | _ -> false)
+       s.runs);
+  check "completed runs stay linearizable" true (all_linearizable s);
+  check "completed runs conserve elements" true (all_conserved s);
+  check "lock spinning observed" true (s.ops.lock_spins > 0);
+  let s' =
+    Harness.Chaos_exp.sweep_lock ~stride:(max 1 (stride / 2)) ~seed:11L ()
+  in
+  Alcotest.(check string)
+    "sweep deterministic in (plan, seed)" (fingerprint s) (fingerprint s')
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "sched-crash",
+        [
+          Alcotest.test_case "declarative crash plan" `Quick crash_plan;
+          Alcotest.test_case "remote kill" `Quick remote_kill;
+          Alcotest.test_case "self kill" `Quick self_kill;
+          Alcotest.test_case "watchdog wedge" `Quick watchdog_wedge;
+          Alcotest.test_case "exception cleanup" `Quick exception_cleanup;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "quiet plan only counts" `Quick
+            chaos_quiet_counts;
+          Alcotest.test_case "spurious CAS failures" `Quick
+            chaos_spurious_failures;
+          Alcotest.test_case "fault stream deterministic" `Quick
+            chaos_stream_deterministic;
+        ] );
+      ( "mcas-stall",
+        [
+          Alcotest.test_case "helping under crash-stop stalls" `Quick
+            mcas_helping_under_stalls;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "lf: progress + linearizable + conserved"
+            `Quick lf_sweep;
+          Alcotest.test_case "lock: wedge detected, never hangs" `Quick
+            lock_sweep;
+        ] );
+    ]
