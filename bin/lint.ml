@@ -1,0 +1,24 @@
+(** Runtime-boundary and format lint over the library tree.
+
+    Usage: [lint.exe DIR...] — scans every [.ml]/[.mli] under each DIR
+    (default [lib]) with {!Lint_rules} and exits nonzero if anything is
+    flagged. Wired into the default [dune runtest] so a direct
+    [Stdlib.Atomic] or [Domain] use outside [lib/runtime]/[lib/sim]
+    fails the build, not a review. *)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as dirs) -> dirs
+    | _ -> [ "lib" ]
+  in
+  let findings = List.concat_map Lint_rules.scan_tree roots in
+  List.iter
+    (fun f -> Format.printf "%a@." Lint_rules.pp_finding f)
+    findings;
+  match findings with
+  | [] ->
+      Format.printf "lint: %s clean@." (String.concat " " roots)
+  | fs ->
+      Format.printf "lint: %d finding(s)@." (List.length fs);
+      exit 1

@@ -5,6 +5,7 @@
     repro fig2 [--panel P] [--machine M] [--quick] [--extended]
     repro real [--panel P] [--threads N]   # wall-clock run on real domains
     repro chaos [--seed S] [--full]        # crash-stop + fault-injection sweep
+    repro dpor [PROGRAM] [--schedule S]    # DPOR model checking / replay
     repro all [--quick]                    # everything, in paper order
     v} *)
 
@@ -393,6 +394,108 @@ let chaos_cmd =
       const run_chaos $ structure_arg $ seed_arg $ plan_seed_arg
       $ cas_fail_arg $ delay_arg $ full_flag)
 
+(* ---------- dpor: systematic schedule exploration ---------- *)
+
+let run_dpor program budget steps schedule trace =
+  match program with
+  | None ->
+      Format.fprintf ppf "programs: %s@."
+        (String.concat ", " (Harness.Dpor_exp.names ()));
+      Format.pp_print_flush ppf ();
+      `Ok ()
+  | Some name -> (
+      match Harness.Dpor_exp.find name with
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown program %S (try `repro dpor' for the \
+                              list)" name )
+      | Some prog -> (
+          match schedule with
+          | Some s -> (
+              match Sim.Sched.Schedule.of_string s with
+              | exception Invalid_argument msg -> `Error (false, msg)
+              | sched ->
+                  let out = Check.run_schedule prog sched in
+                  if trace then
+                    List.iter
+                      (fun (e : Check.event) ->
+                        Format.fprintf ppf "%6d  t%d %-5s cell %d%s@." e.step
+                          e.tid
+                          (match e.kind with
+                          | Read -> "read"
+                          | Write -> "write"
+                          | Cas -> "cas")
+                          e.cell
+                          (if e.wrote then "" else " (no write)"))
+                      out.Check.trace;
+                  Format.fprintf ppf
+                    "%s: replayed %d decisions (schedule pinned %d)@." name
+                    out.Check.followed (List.length sched);
+                  if out.Check.wedged <> [] then
+                    Format.fprintf ppf "wedged: [%s]@."
+                      (String.concat "; "
+                         (List.map string_of_int out.Check.wedged));
+                  (match out.Check.replay_failure with
+                  | Some f -> Format.fprintf ppf "FAILED: %a@." Check.pp_failure f
+                  | None -> Format.fprintf ppf "no failure@.");
+                  Format.pp_print_flush ppf ();
+                  `Ok ())
+          | None ->
+              let config =
+                { Check.default_config with
+                  max_schedules = budget;
+                  max_steps = steps;
+                }
+              in
+              let r = Check.explore ~config prog in
+              Format.fprintf ppf "%a@." Check.pp_report r;
+              Format.pp_print_flush ppf ();
+              `Ok ()))
+
+let dpor_cmd =
+  let program_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM"
+          ~doc:"Catalog program to explore (omit to list them).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int Check.default_config.max_schedules
+      & info [ "budget" ] ~docv:"N" ~doc:"Execution budget.")
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int Check.default_config.max_steps
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Per-execution scheduling-decision bound.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"SCHED"
+          ~doc:"Replay one schedule (e.g. a counterexample like \
+                $(i,0*3.1.0*2)) instead of exploring.")
+  in
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"With --schedule: print every committed shared access.")
+  in
+  let doc =
+    "Model-check a catalog program: DPOR exploration of every \
+     inequivalent schedule, with vector-clock race detection and \
+     spin-deadlock detection; or replay one counterexample schedule."
+  in
+  Cmd.v (Cmd.info "dpor" ~doc)
+    Term.(
+      ret (const run_dpor $ program_arg $ budget_arg $ steps_arg
+           $ schedule_arg $ trace_flag))
+
 (* ---------- everything ---------- *)
 
 let run_all quick =
@@ -417,5 +520,6 @@ let () =
        (Cmd.group info
           [
             table_cmd 1; table_cmd 2; table_cmd 3; table_cmd 4; fig2_cmd;
-            real_cmd; ablation_cmd; lin_cmd; chaos_cmd; shape_cmd; all_cmd;
+            real_cmd; ablation_cmd; lin_cmd; chaos_cmd; dpor_cmd; shape_cmd;
+            all_cmd;
           ]))

@@ -2,25 +2,29 @@
 
     All measurement threads block here until everyone is ready, so the
     timed region starts simultaneously. Reusable across rounds: the sense
-    flips each time the last arrival releases the others. *)
+    flips each time the last arrival releases the others. Goes through
+    {!Runtime.Real} rather than [Stdlib.Atomic] directly so the runtime
+    boundary lint holds for the whole harness. *)
+
+module A = Runtime.Real.Atomic
 
 type t = {
   parties : int;
-  arrived : int Atomic.t;
-  sense : bool Atomic.t;
+  arrived : int A.t;
+  sense : bool A.t;
 }
 
 let create parties =
   if parties < 1 then invalid_arg "Barrier.create";
-  { parties; arrived = Atomic.make 0; sense = Atomic.make false }
+  { parties; arrived = A.make 0; sense = A.make false }
 
 let wait t =
-  let my_sense = not (Atomic.get t.sense) in
-  if Atomic.fetch_and_add t.arrived 1 = t.parties - 1 then begin
-    Atomic.set t.arrived 0;
-    Atomic.set t.sense my_sense
+  let my_sense = not (A.get t.sense) in
+  if A.fetch_and_add t.arrived 1 = t.parties - 1 then begin
+    A.set t.arrived 0;
+    A.set t.sense my_sense
   end
   else
-    while Atomic.get t.sense <> my_sense do
-      Domain.cpu_relax ()
+    while A.get t.sense <> my_sense do
+      Runtime.Real.cpu_relax ()
     done

@@ -1,0 +1,125 @@
+(** The DPOR program catalog: small fixed concurrent programs over the
+    repo's structures, shaped for exhaustive exploration by
+    {!Check.explore} — 2–3 threads, 3–6 operations total.
+
+    Each priority-queue program records per-thread histories with
+    {!Lin.recorder} (timestamped by {!Sim.Sched.events}, the clock that
+    stays consistent with execution order under the explorer's policies)
+    and checks, after every complete execution: the structure's own
+    quiescent invariant, key conservation (prepopulated ∪ inserted =
+    extracted ∪ drained as multisets), and — for structures that claim
+    it — linearizability of the recorded history. The quiescently
+    consistent skip list gets the conservation oracle only.
+
+    Shared by [test_dpor] and the [repro dpor] subcommand. *)
+
+type script = [ `Insert of int | `Extract ] list
+
+(** Build a {!Check.program} over any priority queue. [lin:false]
+    downgrades the oracle to invariant + conservation (for quiescently
+    consistent structures). *)
+let pq_program ~name ~(make : unit -> Pq.t) ?(prepopulate = [])
+    ~(lin : bool) (scripts : script list) : Check.program =
+  let prepare () =
+    (* Construction and prepopulation run outside the simulation, on the
+       ambient generator; reseeding it pins the initial structure (e.g.
+       which leaf a randomized mound insert probes), so every
+       re-execution starts from an identical state — the explorer's
+       replayed prefixes depend on it. *)
+    Sim.Sched.seed_ambient 11L;
+    let q = make () in
+    List.iter q.insert prepopulate;
+    let recorded =
+      List.map (fun s -> Lin.recorder ~now:Sim.Sched.events q s) scripts
+    in
+    let bodies =
+      Array.of_list (List.map (fun (body, _) _tid -> body ()) recorded)
+    in
+    let verdict () =
+      let events = List.concat_map (fun (_, collect) -> collect ()) recorded in
+      if not (q.check ()) then Some "quiescent invariant violated"
+      else begin
+        let inserted =
+          prepopulate
+          @ List.concat_map
+              (List.filter_map (function
+                | `Insert v -> Some v
+                | `Extract -> None))
+              scripts
+        in
+        let extracted =
+          List.filter_map
+            (function { Lin.op = Ext (Some v); _ } -> Some v | _ -> None)
+            events
+        in
+        let rec drain acc =
+          match q.extract_min () with
+          | Some v -> drain (v :: acc)
+          | None -> acc
+        in
+        let drained = drain [] in
+        if
+          List.sort compare (extracted @ drained)
+          <> List.sort compare inserted
+        then Some "key conservation violated"
+        else if lin && not (Lin.check ~init:prepopulate events) then
+          Some "history not linearizable"
+        else None
+      end
+    in
+    { Check.bodies; verdict }
+  in
+  { Check.name; prepare }
+
+(* The standard shape: one queue prepopulated with a middle key, one
+   thread racing insert-then-extract against a second thread's insert.
+   Small enough to explore exhaustively on every structure, adversarial
+   enough to exercise insert/extract and extract/extract conflicts. *)
+let standard ~name ~lin (maker : Pq.maker) =
+  pq_program ~name
+    ~make:(fun () -> maker.Pq.make ~capacity:64)
+    ~prepopulate:[ 2 ] ~lin
+    [ [ `Insert 1; `Extract ]; [ `Insert 3 ] ]
+
+(* CASN helping: two threads issue overlapping double-word CASNs from
+   the same initial state, with legs in opposite orders. Exactly one
+   must win, and both locations must agree afterwards — a torn CASN or
+   lost help shows up as mixed values or two winners. *)
+let mcas_program : Check.program =
+  let module M = Mcas.Make (Sim.Runtime.Atomic) in
+  let prepare () =
+    let a = M.make 0 and b = M.make 0 in
+    let won = Array.make 2 false in
+    let bodies =
+      [|
+        (fun _ -> won.(0) <- M.casn [| (a, 0, 1); (b, 0, 1) |]);
+        (fun _ -> won.(1) <- M.casn [| (b, 0, 2); (a, 0, 2) |]);
+      |]
+    in
+    let verdict () =
+      let va = M.get a and vb = M.get b in
+      if va <> vb then
+        Some (Printf.sprintf "torn casn: a=%d b=%d" va vb)
+      else
+        match (won.(0), won.(1), va) with
+        | true, false, 1 | false, true, 2 -> None
+        | false, false, _ -> Some "both casns failed from initial state"
+        | true, true, _ -> Some "both casns claim success"
+        | _, _, v ->
+            Some (Printf.sprintf "winner/value mismatch: value %d" v)
+    in
+    { Check.bodies; verdict }
+  in
+  { Check.name = "mcas"; prepare }
+
+let catalog : (string * Check.program) list =
+  [
+    ("lf-mound", standard ~name:"lf-mound" ~lin:true Pq.On_sim.mound_lf);
+    ("lock-mound", standard ~name:"lock-mound" ~lin:true Pq.On_sim.mound_lock);
+    ("stm-heap", standard ~name:"stm-heap" ~lin:true Pq.On_sim.stm_heap);
+    ("skiplist", standard ~name:"skiplist" ~lin:false Pq.On_sim.skiplist);
+    ("mcas", mcas_program);
+  ]
+
+let find name = List.assoc_opt name catalog
+let names () = List.map fst catalog

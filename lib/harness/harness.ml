@@ -15,7 +15,9 @@
     - {!Barrier}: start-line synchronization for real-domain runs;
     - {!Lin}: Wing–Gong linearizability checking of recorded histories;
     - {!Chaos_exp}: crash-stop sweeps under fault injection — the
-      progress-guarantee evaluation behind [repro chaos]. *)
+      progress-guarantee evaluation behind [repro chaos];
+    - {!Dpor_exp}: the fixed small programs model-checked by
+      {!Check.explore} — behind [repro dpor] and the DPOR test tier. *)
 
 module Barrier = Barrier
 module Pq = Pq
@@ -27,3 +29,4 @@ module Fig2 = Fig2
 module Ablation = Ablation
 module Lin = Lin
 module Chaos_exp = Chaos_exp
+module Dpor_exp = Dpor_exp

@@ -15,12 +15,15 @@ type event = { inv : int; resp : int; op : op }
 
 (** Record one thread's operations against a [Harness.Pq.t] inside a
     simulation; returns the thread body and a closure to collect events
-    after the run. *)
-let recorder (q : Pq.t) script =
+    after the run. [~now] supplies the timestamp clock — the default,
+    {!Sim.Sched.now}, is only globally ordered under the default
+    smallest-clock policy; schedule explorers pass {!Sim.Sched.events},
+    which any policy keeps consistent with execution order. *)
+let recorder ?(now = Sim.Sched.now) (q : Pq.t) script =
   let events = ref [] in
   let body =
     List.iter (fun action ->
-        let inv = Sim.Sched.now () in
+        let inv = now () in
         let op =
           match action with
           | `Insert v ->
@@ -28,7 +31,7 @@ let recorder (q : Pq.t) script =
               Ins v
           | `Extract -> Ext (q.extract_min ())
         in
-        let resp = Sim.Sched.now () in
+        let resp = now () in
         events := { inv; resp; op } :: !events)
   in
   ((fun () -> body script), fun () -> !events)

@@ -1,3 +1,6 @@
+(* lint: allow-file — this module IS the real-hardware driver: it spawns
+   domains and reads the wall clock by design. *)
+
 (** Fig. 2 experiment driver on real OCaml domains.
 
     Same workloads as {!Sim_exp}, measured in wall-clock time with a

@@ -1,0 +1,385 @@
+(** Source-level lint for the runtime boundary and basic formatting.
+
+    Everything in [lib/] except [lib/runtime] and [lib/sim] must reach
+    shared memory, domains, time, and randomness through the {!Runtime}
+    functor interface — that is what lets one algorithm run both on real
+    hardware and under the deterministic simulator. This module scans
+    OCaml sources (comments and string literals stripped) and reports:
+
+    - direct uses of [Stdlib.Atomic], bare [Atomic.], [Domain.],
+      [Random.] or [Unix.gettimeofday] outside the runtime layer;
+    - [mutable] record fields in a type that the same file publishes
+      through an [Atomic.t] cell — such records look atomic but their
+      fields are plain racy memory;
+    - formatting nits that otherwise accumulate: tab characters,
+      trailing whitespace, missing final newline.
+
+    A comment containing ["lint: allow"] waives findings on its own and
+    the following line; ["lint: allow-file"] waives the whole file's
+    boundary findings (formatting still applies). The exemption for
+    [lib/runtime] and [lib/sim] is by path: any file with a [runtime] or
+    [sim] directory component may touch the forbidden primitives — they
+    are the boundary. *)
+
+type finding = { file : string; line : int; rule : string; msg : string }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
+
+(* ---- source preprocessing --------------------------------------------- *)
+
+type stripped = {
+  clean : string;
+      (* comments and string/char literals blanked out, newlines kept *)
+  waived : (int, unit) Hashtbl.t;  (* line numbers covered by a waiver *)
+  file_waived : bool;
+}
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Blank out comments (nested, and containing strings) and string/char
+   literals, recording waiver comments as we go. The cleaned buffer has
+   the same length and line structure as the source. *)
+let strip src =
+  let n = String.length src in
+  let clean = Bytes.of_string src in
+  let waived = Hashtbl.create 8 in
+  let file_waived = ref false in
+  let line = ref 1 in
+  let blank i = if Bytes.get clean i <> '\n' then Bytes.set clean i ' ' in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  (* skip a string literal body starting after its opening quote,
+     blanking it; returns index past the closing quote *)
+  let rec skip_string i =
+    if i >= n then i
+    else
+      let c = src.[i] in
+      bump c;
+      blank i;
+      if c = '\\' && i + 1 < n then begin
+        blank (i + 1);
+        bump src.[i + 1];
+        skip_string (i + 2)
+      end
+      else if c = '"' then i + 1
+      else skip_string (i + 1)
+  in
+  let contains_sub s sub =
+    let ls = String.length s and lb = String.length sub in
+    let rec go i =
+      i + lb <= ls && (String.sub s i lb = sub || go (i + 1))
+    in
+    go 0
+  in
+  let rec skip_comment i depth start =
+    if i >= n then i
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      skip_comment (i + 2) (depth + 1) start
+    end
+    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then begin
+      blank i;
+      blank (i + 1);
+      if depth = 1 then i + 2 else skip_comment (i + 2) (depth - 1) start
+    end
+    else if src.[i] = '"' then begin
+      blank i;
+      skip_comment (skip_string (i + 1)) depth start
+    end
+    else begin
+      bump src.[i];
+      blank i;
+      skip_comment (i + 1) depth start
+    end
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start_line = !line in
+      let from = !i in
+      blank !i;
+      blank (!i + 1);
+      i := skip_comment (!i + 2) 1 !i;
+      let text = String.sub src from (min n !i - from) in
+      if contains_sub text "lint: allow-file" then file_waived := true
+      else if contains_sub text "lint: allow" then begin
+        Hashtbl.replace waived start_line ();
+        Hashtbl.replace waived (start_line + 1) ();
+        (* a waiver on its own line covers the next code line too *)
+        Hashtbl.replace waived (!line + 1) ()
+      end
+    end
+    else if c = '"' then begin
+      blank !i;
+      i := skip_string (!i + 1)
+    end
+    else if
+      (* char literals, so that '"' does not open a string; a bare
+         apostrophe after an identifier is a type variable or prime *)
+      c = '\''
+      && (!i = 0 || not (is_ident_char src.[!i - 1]))
+      && !i + 2 < n
+      && ((src.[!i + 1] = '\\')
+         || (src.[!i + 1] <> '\'' && src.[!i + 2] = '\''))
+    then
+      if src.[!i + 1] = '\\' then begin
+        (* escaped char literal: blank to the closing quote *)
+        blank !i;
+        incr i;
+        while !i < n && src.[!i] <> '\'' do
+          bump src.[!i];
+          blank !i;
+          incr i
+        done;
+        if !i < n then begin
+          blank !i;
+          incr i
+        end
+      end
+      else begin
+        blank !i;
+        blank (!i + 1);
+        blank (!i + 2);
+        bump src.[!i + 1];
+        i := !i + 3
+      end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  { clean = Bytes.to_string clean; waived; file_waived = !file_waived }
+
+let line_index src =
+  let lines = ref [ 0 ] in
+  String.iteri (fun i c -> if c = '\n' then lines := (i + 1) :: !lines) src;
+  Array.of_list (List.rev !lines)
+
+let line_of idx off =
+  (* binary search: greatest line start <= off *)
+  let lo = ref 0 and hi = ref (Array.length idx - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if idx.(mid) <= off then lo := mid else hi := mid - 1
+  done;
+  !lo + 1
+
+(* ---- runtime-boundary rule -------------------------------------------- *)
+
+let forbidden =
+  [
+    ("Stdlib.Atomic", "direct Stdlib.Atomic use; go through Runtime");
+    ("Atomic.", "bare Atomic module access; go through Runtime");
+    ("Domain.", "direct Domain use; only lib/runtime may spawn or relax");
+    ("Random.", "ambient Random use; use the runtime's seeded PRNG");
+    ("Unix.gettimeofday", "wall-clock read; timing belongs to the harness \
+                           runtime layer");
+  ]
+
+let exempt_path path =
+  String.split_on_char '/' path
+  |> List.exists (fun seg -> seg = "runtime" || seg = "sim")
+
+(* [with type 'a Atomic.t = ...] names the signature's own submodule, the
+   repo's standard functor-constraint idiom, not an ambient Atomic use. *)
+let type_var_before clean off =
+  let i = ref (off - 1) in
+  while !i >= 0 && clean.[!i] = ' ' do
+    decr i
+  done;
+  !i >= 1 && clean.[!i] = 'a' && clean.[!i - 1] = '\''
+
+let scan_boundary ~path ~file s idx =
+  if exempt_path path then []
+  else
+    List.concat_map
+      (fun (pat, msg) ->
+        let lp = String.length pat in
+        let out = ref [] in
+        let off = ref 0 in
+        let n = String.length s.clean in
+        while !off + lp <= n do
+          let at = !off in
+          if
+            String.sub s.clean at lp = pat
+            && (at = 0
+               || (not (is_ident_char s.clean.[at - 1]))
+                  && s.clean.[at - 1] <> '.')
+            && not (pat = "Atomic." && type_var_before s.clean at)
+          then
+            out := { file; line = line_of idx at; rule = "boundary"; msg }
+                   :: !out;
+          incr off
+        done;
+        List.rev !out)
+      forbidden
+
+(* ---- mutable-record-behind-Atomic rule -------------------------------- *)
+
+(* Tokenize identifiers-with-dots out of the cleaned source. *)
+let tokens clean =
+  let n = String.length clean in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if is_ident_char clean.[!i] then begin
+      let start = !i in
+      while
+        !i < n && (is_ident_char clean.[!i] || clean.[!i] = '.')
+      do
+        incr i
+      done;
+      out := (String.sub clean start (!i - start), start) :: !out
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+(* Record types declaring [mutable] fields, as (name, line of the first
+   mutable field). Purely textual: [type <params>? <name> = {...}]. *)
+let mutable_records clean idx =
+  let n = String.length clean in
+  let out = ref [] in
+  List.iter
+    (fun (tok, off) ->
+      if tok = "type" then begin
+        (* the declaration head runs to the first '='; the type's name
+           is the last lowercase identifier in it *)
+        let eq = ref (off + 4) in
+        while !eq < n && clean.[!eq] <> '=' && clean.[!eq] <> ';' do
+          incr eq
+        done;
+        if !eq < n && clean.[!eq] = '=' then begin
+          let head = String.sub clean (off + 4) (!eq - off - 4) in
+          let name =
+            List.fold_left
+              (fun acc (t, _) ->
+                if t.[0] >= 'a' && t.[0] <= 'z' && t <> "nonrec" then Some t
+                else acc)
+              None (tokens head)
+          in
+          (* after '=': a record body? *)
+          let k = ref (!eq + 1) in
+          while
+            !k < n
+            && (clean.[!k] = ' ' || clean.[!k] = '\n' || clean.[!k] = '\t')
+          do
+            incr k
+          done;
+          match name with
+          | Some name when !k < n && clean.[!k] = '{' ->
+              let close = ref !k in
+              while !close < n && clean.[!close] <> '}' do
+                incr close
+              done;
+              let body = String.sub clean !k (!close - !k) in
+              (match List.find_opt (fun (t, _) -> t = "mutable") (tokens body)
+               with
+              | Some (_, o) -> out := (name, line_of idx (!k + o)) :: !out
+              | None -> ())
+          | _ -> ()
+        end
+      end)
+    (tokens clean);
+  List.rev !out
+
+let scan_mutable_atomic ~file s idx =
+  let recs = mutable_records s.clean idx in
+  if recs = [] then []
+  else
+    let toks = tokens s.clean in
+    let published name =
+      (* [name] immediately followed by a path ending in Atomic.t (or
+         an aliased A.t): the record is being put inside an atomic *)
+      let rec go = function
+        | (t1, _) :: (((t2, _) :: _) as rest) ->
+            if
+              t1 = name
+              && (ends_with ~suffix:"Atomic.t" t2 || t2 = "A.t")
+            then true
+            else go rest
+        | _ -> false
+      in
+      go toks
+    in
+    List.filter_map
+      (fun (name, line) ->
+        if published name then
+          Some
+            {
+              file;
+              line;
+              rule = "mutable-atomic";
+              msg =
+                Printf.sprintf
+                  "record %s has mutable fields but is published through \
+                   an Atomic.t; fields are plain racy memory"
+                  name;
+            }
+        else None)
+      recs
+
+(* ---- format rules ------------------------------------------------------ *)
+
+let scan_format ~file src =
+  let out = ref [] in
+  let add line rule msg = out := { file; line; rule; msg } :: !out in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i l ->
+      let ln = i + 1 in
+      if String.contains l '\t' then add ln "format" "tab character";
+      let len = String.length l in
+      if len > 0 && (l.[len - 1] = ' ' || l.[len - 1] = '\t') then
+        add ln "format" "trailing whitespace")
+    lines;
+  let n = String.length src in
+  if n > 0 && src.[n - 1] <> '\n' then
+    add (List.length lines) "format" "missing final newline";
+  List.rev !out
+
+(* ---- entry points ------------------------------------------------------ *)
+
+let scan ~path src =
+  let s = strip src in
+  let idx = line_index src in
+  let boundary =
+    if s.file_waived then []
+    else scan_boundary ~path ~file:path s idx @ scan_mutable_atomic ~file:path s idx
+  in
+  let all = boundary @ scan_format ~file:path src in
+  List.filter (fun f -> not (Hashtbl.mem s.waived f.line)) all
+  |> List.sort (fun a b -> compare (a.line, a.rule) (b.line, b.rule))
+
+let scan_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  scan ~path src
+
+let rec files_under dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.to_list entries
+      |> List.concat_map (fun e ->
+             let p = Filename.concat dir e in
+             if Sys.is_directory p then files_under p
+             else if
+               Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli"
+             then [ p ]
+             else [])
+  | exception Sys_error _ -> []
+
+let scan_tree root = files_under root |> List.sort compare
+                     |> List.concat_map scan_file

@@ -66,9 +66,11 @@ module Make (A : Runtime.ATOMIC) = struct
   (* Allocation order for descriptor installation. Uses the host atomic
      directly (not [A]): location creation is setup, not part of any
      simulated algorithm's hot path. *)
-  let next_id = Stdlib.Atomic.make 0
+  let next_id = Stdlib.Atomic.make 0 (* lint: allow — setup-only id source *)
 
-  let make v = { st = A.make (V v); id = Stdlib.Atomic.fetch_and_add next_id 1 }
+  let make v =
+    (* lint: allow — id allocation is setup, outside the simulated heap *)
+    { st = A.make (V v); id = Stdlib.Atomic.fetch_and_add next_id 1 }
 
   (* Resolve an RDCSS descriptor found in [rd.loc]: install the CASN
      descriptor unless the operation already failed, in which case the

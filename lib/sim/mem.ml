@@ -4,17 +4,22 @@
     MESI-like way: [owner] is the last writer, [readers] a bitmask of
     threads holding a (shared) copy. A read hits if the thread already has
     a copy; a write or CAS hits only if the thread owns the line
-    exclusively. Costs are charged through {!Sched.access}, which is also
-    the yield point that lets other simulated threads interleave. The
+    exclusively. Costs are charged through {!Sched.access_to}, which is
+    also the yield point that lets other simulated threads interleave. The
     read-modify-write itself executes after the yield, atomically from the
     point of view of other simulated threads, because the scheduler is
-    cooperative.
+    cooperative; once it has executed, {!Sched.commit} reports it to any
+    schedule-exploration observer.
+
+    Every cell carries a process-unique identity [id]: the conflict key
+    for the DPOR explorer and the race detector in {!Check}.
 
     Outside a simulation the cells degrade to plain mutable refs, which
     keeps unit tests of simulated structures runnable without a
     scheduler. *)
 
 type 'a t = {
+  id : int;  (** process-unique cell identity, the conflict key *)
   mutable value : 'a;
   mutable owner : int;  (** last writer tid, or -1 *)
   mutable readers : int64;  (** bitmask of tids with a shared copy *)
@@ -22,7 +27,17 @@ type 'a t = {
 
 let bit tid = Int64.shift_left 1L tid
 
-let make v = { value = v; owner = -1; readers = 0L }
+(* Strictly single-OS-thread (like the scheduler), so a plain counter is
+   enough. Identities stay unique across simulations: the explorer can
+   tell cells of a fresh program instance from a previous one's. *)
+let next_id = ref 0
+
+let make v =
+  let id = !next_id in
+  incr next_id;
+  { id; value = v; owner = -1; readers = 0L }
+
+let id r = r.id
 
 let has_copy r tid =
   r.owner = tid || Int64.logand r.readers (bit tid) <> 0L
@@ -37,7 +52,7 @@ let owns_exclusively r tid =
    ownership: a peer's write that interleaves during our stall must count
    as an invalidation. *)
 let charge_access kind r tid ~exclusive =
-  Sched.access kind ~hit:true;
+  Sched.access_to ~cell:r.id kind ~hit:true;
   let hit = if exclusive then owns_exclusively r tid else has_copy r tid in
   if not hit then
     Sched.work (Sched.access_cost kind ~hit:false - Sched.access_cost kind ~hit:true)
@@ -46,7 +61,8 @@ let get r =
   if Sched.active () then begin
     let tid = Sched.tid () in
     charge_access Read r tid ~exclusive:false;
-    r.readers <- Int64.logor r.readers (bit tid)
+    r.readers <- Int64.logor r.readers (bit tid);
+    Sched.commit ~cell:r.id ~kind:Read ~wrote:false
   end;
   r.value
 
@@ -57,25 +73,51 @@ let acquire_exclusive kind r =
   r.readers <- bit tid
 
 let set r v =
-  if Sched.active () then acquire_exclusive Write r;
-  r.value <- v
+  if Sched.active () then begin
+    acquire_exclusive Write r;
+    r.value <- v;
+    Sched.commit ~cell:r.id ~kind:Write ~wrote:true
+  end
+  else r.value <- v
 
 let compare_and_set r expected v =
-  if Sched.active () then acquire_exclusive Cas r;
-  if r.value == expected then begin
+  if Sched.active () then begin
+    acquire_exclusive Cas r;
+    let ok = r.value == expected in
+    if ok then r.value <- v;
+    Sched.commit ~cell:r.id ~kind:Cas ~wrote:ok;
+    ok
+  end
+  else if r.value == expected then begin
     r.value <- v;
     true
   end
   else false
 
 let exchange r v =
-  if Sched.active () then acquire_exclusive Cas r;
-  let old = r.value in
-  r.value <- v;
-  old
+  if Sched.active () then begin
+    acquire_exclusive Cas r;
+    let old = r.value in
+    r.value <- v;
+    Sched.commit ~cell:r.id ~kind:Cas ~wrote:true;
+    old
+  end
+  else begin
+    let old = r.value in
+    r.value <- v;
+    old
+  end
 
 let fetch_and_add (r : int t) n =
-  if Sched.active () then acquire_exclusive Cas r;
-  let old = r.value in
-  r.value <- old + n;
-  old
+  if Sched.active () then begin
+    acquire_exclusive Cas r;
+    let old = r.value in
+    r.value <- old + n;
+    Sched.commit ~cell:r.id ~kind:Cas ~wrote:true;
+    old
+  end
+  else begin
+    let old = r.value in
+    r.value <- old + n;
+    old
+  end

@@ -28,12 +28,20 @@
 
 type access = Read | Write | Cas
 
+(** The shared access a suspended thread announced just before yielding —
+    the one it will perform the moment it is next resumed. [cell] is a
+    {!Mem} cell identity ([-1] when the yield did not come from a cell
+    access). This is what lets a schedule explorer reason about the next
+    transition of every thread without running it. *)
+type pending = { cell : int; kind : access }
+
 type thread = {
   tid : int;
   rng : Prng.t;
   mutable clock : int;
   mutable slice : int;
   mutable yields : int;
+  mutable pending : pending option;  (* announced-but-unperformed access *)
   mutable crash_at : int;  (* die at this shared-access count; max_int = never *)
   mutable doomed : bool;  (* kill requested from outside the thread *)
   mutable dead : bool;  (* crashed (plan, kill or watchdog) *)
@@ -45,6 +53,9 @@ type t = {
   load : float;
   oversubscribed : bool;
   threads : thread array;
+  on_commit : (tid:int -> cell:int -> kind:access -> wrote:bool -> unit) option;
+  mutable trace : int list;  (* chosen tids, reversed; only when recording *)
+  mutable events : int;  (* global yield count: a logical clock *)
   mutable reads : int;
   mutable writes : int;
   mutable cases : int;  (* CAS-class operations: cas/exchange/fetch_add *)
@@ -60,7 +71,86 @@ type result = {
   cases : int;  (** CAS-class read-modify-writes issued *)
   killed : int list;  (** tids crashed by plan or {!kill}, ascending *)
   wedged : int list;  (** tids stopped by the watchdog, ascending *)
+  schedule : int list;
+      (** resumption order (chosen tid per scheduling decision), recorded
+          only under [~record_schedule:true]; [[]] otherwise *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Schedule strings: the minimal counterexample format. A schedule is
+   the sequence of tids resumed at each scheduling decision; replaying
+   it (via [~policy:(replay ...)]) reproduces the interleaving exactly,
+   because everything else is deterministic in (seed, bodies). *)
+
+module Schedule = struct
+  type nonrec t = int list
+
+  (* Run-length encoded: "0*3.1.0*2" = [0;0;0;1;0;0]. Compact enough to
+     paste into a shell while staying eyeball-decodable. *)
+  let to_string (s : t) =
+    let buf = Buffer.create 64 in
+    let flush tid n =
+      if n > 0 then begin
+        if Buffer.length buf > 0 then Buffer.add_char buf '.';
+        Buffer.add_string buf (string_of_int tid);
+        if n > 1 then begin
+          Buffer.add_char buf '*';
+          Buffer.add_string buf (string_of_int n)
+        end
+      end
+    in
+    let tid, n =
+      List.fold_left
+        (fun (tid, n) t ->
+          if t = tid then (tid, n + 1)
+          else begin
+            flush tid n;
+            (t, 1)
+          end)
+        (-1, 0) s
+    in
+    flush tid n;
+    Buffer.contents buf
+
+  let of_string str : t =
+    let fail () = invalid_arg "Sim.Sched.Schedule.of_string: bad schedule" in
+    let int s = match int_of_string_opt s with Some v when v >= 0 -> v | _ -> fail () in
+    if String.trim str = "" then []
+    else
+      String.split_on_char '.' (String.trim str)
+      |> List.concat_map (fun seg ->
+             match String.split_on_char '*' seg with
+             | [ tid ] -> [ int tid ]
+             | [ tid; n ] ->
+                 let n = int n in
+                 if n < 1 then fail ();
+                 List.init n (fun _ -> int tid)
+             | _ -> fail ())
+
+  let pp ppf s = Format.pp_print_string ppf (to_string s)
+end
+
+(** A scheduling policy: given the runnable threads (ascending tid, with
+    the access each will perform when resumed, if known), return the tid
+    to resume. Exceptions raised by a policy abort the run like an
+    exception escaping a thread body: every fiber is unwound first. *)
+type policy = (int * pending option) array -> int
+
+(** [replay schedule] follows [schedule] while it lasts (skipping tids
+    that are no longer runnable), then falls back to lowest-runnable-tid.
+    Feeding back a recorded [result.schedule] reproduces the run. *)
+let replay schedule : policy =
+  let rest = ref schedule in
+  fun runnable ->
+    let is_runnable t = Array.exists (fun (tid, _) -> tid = t) runnable in
+    let rec next () =
+      match !rest with
+      | [] -> fst runnable.(0)
+      | t :: tl ->
+          rest := tl;
+          if is_runnable t then t else next ()
+    in
+    next ()
 
 type _ Effect.t += Yield : unit Effect.t
 
@@ -111,20 +201,45 @@ let with_active f =
     only at yield points, which every shared access goes through. *)
 let work cost = with_active (fun sched th -> local_charge sched th cost)
 
-(** Charge [cost] and yield; the thread resumes once it has the smallest
-    virtual clock. All shared-memory accesses funnel through this, so it
-    is also where a crash plan fires: the dying access is charged and
-    counted, but the thread unwinds before the access is performed. *)
-let consume cost =
+(* Charge [cost], announce [pending] and yield. All shared-memory
+   accesses funnel through this, so it is also where a crash plan fires:
+   the dying access is charged and counted, but the thread unwinds
+   before the access is performed. *)
+let consume_at pending cost =
   match (!active_sched, !active_thread) with
   | Some sched, Some th ->
       local_charge sched th cost;
       th.yields <- th.yields + 1;
+      th.pending <- pending;
+      sched.events <- sched.events + 1;
       if th.dead || th.doomed || th.yields >= th.crash_at then begin
         th.dead <- true;
         raise Thread_killed
       end;
       Effect.perform Yield
+  | _ -> ()
+
+(** Charge [cost] and yield; the thread resumes once the scheduling
+    policy picks it (by default: once it has the smallest virtual
+    clock). *)
+let consume cost = consume_at None cost
+
+(** Global count of shared-memory events so far: a logical clock that is
+    consistent with the execution order under {e any} scheduling policy
+    (per-thread virtual time is only globally meaningful under the
+    default smallest-clock policy). 0 outside a simulation. *)
+let events () =
+  match !active_sched with Some sched -> sched.events | None -> 0
+
+(** Report the execution of the shared access the calling thread had
+    announced — called by {!Mem} {e after} the read/write/CAS actually
+    happened, with [wrote] saying whether memory changed (a failed CAS
+    reports [wrote:false]). Feeds the [~on_commit] observer; a no-op
+    without one. *)
+let commit ~cell ~kind ~wrote =
+  match (!active_sched, !active_thread) with
+  | Some { on_commit = Some f; _ }, Some th ->
+      f ~tid:th.tid ~cell ~kind ~wrote
   | _ -> ()
 
 (** [kill tid] crash-stops simulated thread [tid]: it will never execute
@@ -158,10 +273,12 @@ let access_cost (kind : access) ~hit =
       | Cas, true -> p.cas_hit
       | Cas, false -> p.cas_miss)
 
-(** [access kind ~hit] charges one shared-memory access and yields.
-    Also maintains the per-run access counters, which is what lets the
-    benches report synchronization operations per data-structure op. *)
-let access kind ~hit =
+(** [access_to ~cell kind ~hit] charges one shared-memory access to cell
+    [cell] and yields. Also maintains the per-run access counters, which
+    is what lets the benches report synchronization operations per
+    data-structure op. The cell identity is what a schedule explorer
+    keys conflicts on. *)
+let access_to ~cell kind ~hit =
   (match !active_sched with
   | None -> ()
   | Some sched -> (
@@ -169,7 +286,10 @@ let access kind ~hit =
       | Read -> sched.reads <- sched.reads + 1
       | Write -> sched.writes <- sched.writes + 1
       | Cas -> sched.cases <- sched.cases + 1));
-  consume (access_cost kind ~hit)
+  consume_at (Some { cell; kind }) (access_cost kind ~hit)
+
+(** [access kind ~hit] — {!access_to} for an anonymous cell. *)
+let access kind ~hit = access_to ~cell:(-1) kind ~hit
 
 let relax () = with_active (fun sched th -> local_charge sched th sched.profile.relax)
 
@@ -229,7 +349,7 @@ let discontinue_thread th k =
 exception Concurrent_simulation
 
 let run ?(profile = Profile.uniform) ?(seed = 42L) ?(crashes = [])
-    ?watchdog bodies =
+    ?watchdog ?policy ?on_commit ?(record_schedule = false) bodies =
   let n = Array.length bodies in
   if n = 0 then invalid_arg "Sim.Sched.run: no threads";
   if n > 64 then invalid_arg "Sim.Sched.run: at most 64 simulated threads";
@@ -242,6 +362,7 @@ let run ?(profile = Profile.uniform) ?(seed = 42L) ?(crashes = [])
           clock = 0;
           slice = 0;
           yields = 0;
+          pending = None;
           crash_at = max_int;
           doomed = false;
           dead = false;
@@ -261,6 +382,9 @@ let run ?(profile = Profile.uniform) ?(seed = 42L) ?(crashes = [])
       load = Profile.load_factor profile n;
       oversubscribed = n > profile.hw_threads;
       threads;
+      on_commit;
+      trace = [];
+      events = 0;
       reads = 0;
       writes = 0;
       cases = 0;
@@ -277,7 +401,7 @@ let run ?(profile = Profile.uniform) ?(seed = 42L) ?(crashes = [])
      keep winning CAS races from a cache-hot line, which starves the others
      far beyond what real arbitration does. *)
   let rr = ref 0 in
-  let pick () =
+  let pick_default () =
     let best = ref (-1) in
     for off = 0 to n - 1 do
       let i = (!rr + off) mod n in
@@ -287,6 +411,23 @@ let run ?(profile = Profile.uniform) ?(seed = 42L) ?(crashes = [])
     done;
     incr rr;
     if !best < 0 then None else Some !best
+  in
+  let pick () =
+    match policy with
+    | None -> pick_default ()
+    | Some choose ->
+        let runnable = ref [] in
+        for i = n - 1 downto 0 do
+          if pending.(i) <> None then
+            runnable := (i, threads.(i).pending) :: !runnable
+        done;
+        if !runnable = [] then None
+        else begin
+          let c = choose (Array.of_list !runnable) in
+          if c < 0 || c >= n || pending.(c) = None then
+            invalid_arg "Sim.Sched.run: policy chose a non-runnable thread";
+          Some c
+        end
   in
   let wedged = ref [] in
   active_sched := Some sched;
@@ -312,12 +453,24 @@ let run ?(profile = Profile.uniform) ?(seed = 42L) ?(crashes = [])
            let th = threads.(i) in
            let k = Option.get pending.(i) in
            pending.(i) <- None;
+           if record_schedule then sched.trace <- i :: sched.trace;
            if th.doomed then begin
              discontinue_thread th k;
              loop ()
            end
            else if
-             match watchdog with Some w -> th.clock > w | None -> false
+             (* Under the default policy the picked thread has the
+                smallest clock, so checking it checks every survivor; a
+                custom policy picks arbitrarily, so check them all. *)
+             match watchdog with
+             | None -> false
+             | Some w ->
+                 th.clock > w
+                 && (Option.is_none policy
+                    || Array.for_all
+                         (fun (t : thread) ->
+                           pending.(t.tid) = None || t.clock > w)
+                         threads)
            then begin
              (* [th] has the smallest clock of all runnable threads, so
                 every one of them is past the bound: no survivor is
@@ -371,4 +524,5 @@ let run ?(profile = Profile.uniform) ?(seed = 42L) ?(crashes = [])
     cases = sched.cases;
     killed;
     wedged;
+    schedule = List.rev sched.trace;
   }

@@ -21,6 +21,12 @@
 (** Classes of shared-memory access, charged differently by profiles. *)
 type access = Read | Write | Cas
 
+(** The shared access a suspended thread announced just before yielding —
+    the one it will perform the moment it is next resumed. [cell] is a
+    {!Mem} cell identity ([-1] when unknown). A schedule explorer uses
+    this to know every thread's next transition without running it. *)
+type pending = { cell : int; kind : access }
+
 type result = {
   span : int;  (** max final thread clock, in virtual cycles *)
   clocks : int array;  (** per-thread final clocks *)
@@ -34,7 +40,38 @@ type result = {
   cases : int;  (** CAS-class read-modify-writes issued *)
   killed : int list;  (** tids crashed by plan or {!kill}, ascending *)
   wedged : int list;  (** tids stopped by the watchdog, ascending *)
+  schedule : int list;
+      (** resumption order (chosen tid per scheduling decision), recorded
+          only under [~record_schedule:true]; [[]] otherwise *)
 }
+
+(** Minimal counterexample serialization: a schedule — the tid resumed
+    at each scheduling decision — as a run-length-encoded string like
+    ["0*3.1.0*2"]. Replaying one (see {!replay}) reproduces the
+    interleaving exactly, because everything else is deterministic in
+    [(seed, bodies)]. This is the format [repro dpor --schedule] and the
+    DPOR/chaos counterexample reports speak. *)
+module Schedule : sig
+  type nonrec t = int list
+
+  val to_string : t -> string
+
+  val of_string : string -> t
+  (** Raises [Invalid_argument] on a malformed schedule string. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** A scheduling policy: given the runnable threads (ascending tid, with
+    the access each will perform when resumed, if known), return the tid
+    to resume. Exceptions raised by a policy abort the run like an
+    exception escaping a thread body: every fiber is unwound first. *)
+type policy = (int * pending option) array -> int
+
+val replay : Schedule.t -> policy
+(** [replay schedule] follows [schedule] while it lasts (skipping tids no
+    longer runnable), then falls back to lowest-runnable-tid. Feeding a
+    recorded [result.schedule] back reproduces that run. *)
 
 exception Concurrent_simulation
 (** Raised by {!run} when a simulation is already active. *)
@@ -49,6 +86,9 @@ val run :
   ?seed:int64 ->
   ?crashes:(int * int) list ->
   ?watchdog:int ->
+  ?policy:policy ->
+  ?on_commit:(tid:int -> cell:int -> kind:access -> wrote:bool -> unit) ->
+  ?record_schedule:bool ->
   (int -> unit) array ->
   result
 (** [run bodies] executes [bodies.(i) i] for every [i] as simulated
@@ -56,6 +96,22 @@ val run :
     a body abort the whole simulation — every other fiber is unwound
     first, so no continuation leaks — and propagate after the scheduler
     state is reset.
+
+    [~policy] overrides the smallest-virtual-clock scheduler: at every
+    scheduling decision it is handed the runnable threads and picks the
+    next to resume. This is the hook the DPOR explorer ({!Check.explore})
+    drives; cost accounting still runs, but per-thread virtual clocks are
+    then only locally meaningful. With a policy present, [~watchdog]
+    wedges the survivors only once {e every} runnable thread is past the
+    bound.
+
+    [~on_commit] observes every shared-memory access {e after} it
+    executes: the accessing thread, the cell, the access class, and
+    whether memory changed ([wrote:false] for reads and failed CASes).
+
+    [~record_schedule:true] records the resumption order into
+    [result.schedule] (off by default: a fig2-scale run has millions of
+    scheduling decisions).
 
     [~crashes:\[(i, k); ...\]] crash-stops thread [i] at its [k]-th
     shared access (1-based): the access is charged and counted but not
@@ -96,11 +152,26 @@ val consume : int -> unit
 (** Charge [cost] cycles and yield; no-op outside a simulation. This is
     also where crash plans fire — see {!run}. *)
 
+val events : unit -> int
+(** Global count of shared-memory events so far: a logical clock
+    consistent with the execution order under {e any} scheduling policy
+    (unlike {!now}, which is globally meaningful only under the default
+    policy). 0 outside a simulation. *)
+
 val access_cost : access -> hit:bool -> int
 (** Cost of one access under the active profile (0 when inactive). *)
 
 val access : access -> hit:bool -> unit
 (** Charge one shared-memory access, count it, and yield. *)
+
+val access_to : cell:int -> access -> hit:bool -> unit
+(** {!access}, attributed to cell identity [cell] so schedule explorers
+    can key conflicts on it. *)
+
+val commit : cell:int -> kind:access -> wrote:bool -> unit
+(** Report that the calling thread's announced access actually executed;
+    forwards to the run's [~on_commit] observer, if any. Called by
+    {!Mem} after performing each operation. *)
 
 val relax : unit -> unit
 (** A [cpu_relax] pause: local charge, no yield. *)

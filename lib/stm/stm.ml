@@ -47,12 +47,12 @@ module Make (R : Runtime.S) = struct
      simulator. The id counter is setup-only but harmless to cost. *)
   let clock = R.Atomic.make 0
 
-  let next_id = Stdlib.Atomic.make 0
+  let next_id = Stdlib.Atomic.make 0 (* lint: allow — setup-only id source *)
 
   let make value =
     {
       st = R.Atomic.make { value; version = 0; locked = false };
-      id = Stdlib.Atomic.fetch_and_add next_id 1;
+      id = Stdlib.Atomic.fetch_and_add next_id 1; (* lint: allow *)
     }
 
   (** [read tx tv] — transactional read, with read-own-writes. *)

@@ -1,0 +1,181 @@
+(* A deliberately broken copy of [Mound.Lf], seeded for the DPOR tier:
+   [extract_min] ignores the root's dirty bit instead of helping
+   [moundify] first (the paper's L24–L26 are deleted, and the CAS no
+   longer re-checks cleanliness). A thread that observes the root mid-
+   extraction — emptied and dirty, its list swapped down but not yet
+   restored — concludes the mound is empty and returns [None] while
+   elements sit one level below. The model checker must find the
+   two-extract interleaving that exposes this; stress tests usually
+   don't.
+
+   Everything else (insert, moundify, introspection) is copied verbatim
+   from [lib/core/lf_mound.ml], trimmed to what a [Harness.Pq.t] needs,
+   so the only semantic difference is the dropped dirty handling. *)
+
+module Make (R : Runtime.S) (Ord : Mound.Intf.ORDERED) = struct
+  module M = Mcas.Make (R.Atomic)
+  module T = Mound.Tree.Make (R)
+
+  type mnode = { list : Ord.t list; dirty : bool; seq : int }
+  type t = { tree : mnode M.loc T.t }
+
+  let vcompare = Mound.Intf.Value.compare Ord.compare
+  let node_value n = match n.list with [] -> None | x :: _ -> Some x
+
+  let create () =
+    let make_slot () = M.make { list = []; dirty = false; seq = 0 } in
+    { tree = T.create make_slot }
+
+  let read t i = M.get (T.get t.tree i)
+
+  let rec moundify t n =
+    let slot = T.get t.tree n in
+    let node = M.get slot in
+    let d = T.depth t.tree in
+    if not node.dirty then ()
+    else if T.is_leaf n ~depth:d then begin
+      if
+        M.cas slot node { list = node.list; dirty = false; seq = node.seq + 1 }
+      then ()
+      else moundify t n
+    end
+    else begin
+      let lslot = T.get t.tree (2 * n) and rslot = T.get t.tree ((2 * n) + 1) in
+      let left = M.get lslot in
+      let right = M.get rslot in
+      if left.dirty then begin
+        moundify t (2 * n);
+        moundify t n
+      end
+      else if right.dirty then begin
+        moundify t ((2 * n) + 1);
+        moundify t n
+      end
+      else begin
+        let vn = node_value node
+        and vl = node_value left
+        and vr = node_value right in
+        if vcompare vl vr <= 0 && vcompare vl vn < 0 then begin
+          if
+            M.dcas slot node
+              { list = left.list; dirty = false; seq = node.seq + 1 }
+              lslot left
+              { list = node.list; dirty = true; seq = left.seq + 1 }
+          then moundify t (2 * n)
+          else moundify t n
+        end
+        else if vcompare vr vl < 0 && vcompare vr vn < 0 then begin
+          if
+            M.dcas slot node
+              { list = right.list; dirty = false; seq = node.seq + 1 }
+              rslot right
+              { list = node.list; dirty = true; seq = right.seq + 1 }
+          then moundify t ((2 * n) + 1)
+          else moundify t n
+        end
+        else begin
+          if
+            M.cas slot node
+              { list = node.list; dirty = false; seq = node.seq + 1 }
+          then ()
+          else moundify t n
+        end
+      end
+    end
+
+  let rec fallback_point t ~ge =
+    let d = T.depth t.tree in
+    let leaf = 1 lsl (d - 1) in
+    if ge leaf then T.binary_search ~ge leaf d
+    else begin
+      T.expand t.tree d;
+      fallback_point t ~ge
+    end
+
+  let max_insert_rounds = 8
+
+  let rec insert_attempt t v round =
+    let ge i =
+      Mound.Intf.Value.ge_elt Ord.compare (node_value (read t i)) v
+    in
+    let c =
+      if round < max_insert_rounds then T.find_insert_point t.tree ~ge
+      else fallback_point t ~ge
+    in
+    let cslot = T.get t.tree c in
+    let cur = M.get cslot in
+    if Mound.Intf.Value.ge_elt Ord.compare (node_value cur) v then begin
+      let fresh =
+        { list = v :: cur.list; dirty = cur.dirty; seq = cur.seq + 1 }
+      in
+      if c = 1 then begin
+        if not (M.cas cslot cur fresh) then insert_attempt t v (round + 1)
+      end
+      else begin
+        let pslot = T.get t.tree (c / 2) in
+        let parent = M.get pslot in
+        if Mound.Intf.Value.le_elt Ord.compare (node_value parent) v then begin
+          if not (M.dcss pslot parent cslot cur fresh) then
+            insert_attempt t v (round + 1)
+        end
+        else insert_attempt t v (round + 1)
+      end
+    end
+    else insert_attempt t v (round + 1)
+
+  let insert t v = insert_attempt t v 0
+
+  (* THE MUTATION. Upstream reads the root and, if it is dirty, helps
+     [moundify] before retrying; here a dirty root is treated as clean,
+     so its (possibly already-emptied) list is trusted. *)
+  let rec extract_min t =
+    let slot = T.get t.tree 1 in
+    let root = M.get slot in
+    match root.list with
+    | [] -> None
+    | hd :: tl ->
+        if M.cas slot root { list = tl; dirty = true; seq = root.seq + 1 }
+        then begin
+          moundify t 1;
+          Some hd
+        end
+        else extract_min t
+
+  let fold_nodes t f acc =
+    T.fold t.tree (fun acc i slot -> f acc i (M.get slot).list) acc
+
+  let size t = fold_nodes t (fun acc _ l -> acc + List.length l) 0
+
+  let rec list_sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Ord.compare a b <= 0 && list_sorted rest
+
+  let check t =
+    fold_nodes t
+      (fun ok i l ->
+        ok && list_sorted l
+        &&
+        if i = 1 then true
+        else
+          let parent = read t (i / 2) in
+          parent.dirty
+          || Mound.Intf.Value.le Ord.compare (node_value parent)
+               (match l with [] -> None | x :: _ -> Some x))
+      true
+end
+
+module On_sim = Make (Sim.Runtime) (Mound.Int_ord)
+
+(** A [Harness.Pq.t] over the mutant, for {!Harness.Dpor_exp.pq_program}. *)
+let make_pq () : Harness.Pq.t =
+  let q = On_sim.create () in
+  {
+    name = "Mutant Mound (LF, dirty check dropped)";
+    insert = On_sim.insert q;
+    extract_min = (fun () -> On_sim.extract_min q);
+    extract_many =
+      (fun () ->
+        match On_sim.extract_min q with None -> [] | Some v -> [ v ]);
+    size = (fun () -> On_sim.size q);
+    check = (fun () -> On_sim.check q);
+  }

@@ -105,6 +105,40 @@ let tampered_history_caught () =
   in
   if had_extract then check "corruption caught" false (Harness.Lin.check corrupted)
 
+(* ---- the checker's own power: a deliberately broken structure ---- *)
+
+(* [Racy_pq.make_racy] updates one shared cell with a plain get-then-set,
+   so interleaved operations lose updates; [make_cas] is the honest
+   control with the identical footprint. Recording both under the plain
+   simulator exercises Lin end to end: it must reject the former on some
+   schedule and accept the latter on every schedule. *)
+
+let racy_maker : Harness.Pq.maker =
+  { make = (fun ~capacity:_ -> Racy_pq.make_racy ()) }
+
+let cas_maker : Harness.Pq.maker =
+  { make = (fun ~capacity:_ -> Racy_pq.make_cas ()) }
+
+let lin_rejects_racy_toy () =
+  let violations = ref 0 in
+  List.iter
+    (fun seed ->
+      let history = record_history racy_maker ~seed in
+      if not (Harness.Lin.check history) then incr violations)
+    seeds;
+  Printf.printf "  [racy toy] %d/%d recorded histories non-linearizable\n%!"
+    !violations (List.length seeds);
+  check "lost updates detected on at least one schedule" true (!violations > 0)
+
+let lin_accepts_cas_control () =
+  List.iter
+    (fun seed ->
+      let history = record_history cas_maker ~seed in
+      check
+        (Printf.sprintf "cas toy linearizable (seed %Ld)" seed)
+        true (Harness.Lin.check history))
+    seeds
+
 (* property: histories produced by genuinely sequential executions are
    always linearizable *)
 let prop_sequential_always_ok =
@@ -184,6 +218,13 @@ let () =
             tampered_history_caught;
           QCheck_alcotest.to_alcotest prop_sequential_always_ok;
           QCheck_alcotest.to_alcotest prop_widening_monotone;
+        ] );
+      ( "racy toy",
+        [
+          Alcotest.test_case "get-then-set rejected" `Quick
+            lin_rejects_racy_toy;
+          Alcotest.test_case "cas control accepted" `Quick
+            lin_accepts_cas_control;
         ] );
       ( "structures (25 seeded schedules each)",
         [

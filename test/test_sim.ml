@@ -186,6 +186,164 @@ let rand_deterministic_per_thread () =
   ignore (Sim.Sched.run ~seed:9L (Array.init 4 (fun _ -> body2)));
   check "same seed, same per-thread draws" true (draws1 = draws2)
 
+(* ---- MESI transitions and RMW accounting ------------------------------- *)
+
+(* The DPOR layer keys its conflict analysis on exactly these commit
+   reports and the cost model's hit/miss decisions, so the coherence
+   transitions are pinned here one by one. *)
+
+let measured f =
+  let t0 = Sim.Sched.now () in
+  ignore (f ());
+  Sim.Sched.now () - t0
+
+let mesi_transitions () =
+  (* single thread, x86 profile (hit < miss): cold read misses, the
+     second read hits the shared copy, the first write must upgrade
+     (miss), further accesses by the owner hit *)
+  let c = R.Atomic.make 0 in
+  let ok = ref [] in
+  let body _ =
+    let cost k ~hit = Sim.Sched.access_cost k ~hit in
+    let expect name k hit f = ok := (name, measured f = cost k ~hit) :: !ok in
+    expect "cold read misses" Sim.Sched.Read false (fun () -> R.Atomic.get c);
+    expect "shared copy hits" Sim.Sched.Read true (fun () -> R.Atomic.get c);
+    expect "upgrade write misses" Sim.Sched.Write false (fun () ->
+        R.Atomic.set c 1);
+    expect "exclusive write hits" Sim.Sched.Write true (fun () ->
+        R.Atomic.set c 2);
+    expect "owner read hits" Sim.Sched.Read true (fun () -> R.Atomic.get c)
+  in
+  ignore (Sim.Sched.run ~profile:Sim.Profile.x86 [| body |]);
+  List.iter (fun (name, b) -> check name true b) !ok
+
+let mesi_peer_invalidation () =
+  (* t0 takes a shared copy; t1 writes the cell (a miss: the line is
+     shared) which invalidates t0's copy, so t0's re-read misses.
+     Flag cells sequence the phases so the costs are deterministic. *)
+  let c = R.Atomic.make 0 in
+  let ready = R.Atomic.make 0 and fin = R.Atomic.make 0 in
+  let ok_before = ref false and ok_peer = ref false and ok_after = ref false in
+  let body tid =
+    let cost k ~hit = Sim.Sched.access_cost k ~hit in
+    if tid = 0 then begin
+      ignore (R.Atomic.get c);
+      ok_before :=
+        measured (fun () -> R.Atomic.get c) = cost Sim.Sched.Read ~hit:true;
+      R.Atomic.set ready 1;
+      while R.Atomic.get fin = 0 do () done;
+      ok_after :=
+        measured (fun () -> R.Atomic.get c) = cost Sim.Sched.Read ~hit:false
+    end
+    else begin
+      while R.Atomic.get ready = 0 do () done;
+      ok_peer :=
+        measured (fun () -> R.Atomic.set c 7) = cost Sim.Sched.Write ~hit:false;
+      R.Atomic.set fin 1
+    end
+  in
+  ignore (Sim.Sched.run ~profile:Sim.Profile.x86 (Array.make 2 body));
+  check "reader's shared copy hits" true !ok_before;
+  check "peer write to a shared line misses" true !ok_peer;
+  check "peer write invalidates the reader's copy" true !ok_after
+
+let rmw_accounting_uniform () =
+  (* fetch_and_add and exchange go through the same exclusive-acquire
+     accounting as compare_and_set — and a failed CAS costs the same as
+     a successful one (the line is acquired before the compare) *)
+  let a = R.Atomic.make 0 and b = R.Atomic.make 0 in
+  let c = R.Atomic.make 0 and d = R.Atomic.make 5 in
+  let ok = ref false in
+  let body _ =
+    let miss = Sim.Sched.access_cost Sim.Sched.Cas ~hit:false in
+    let hit = Sim.Sched.access_cost Sim.Sched.Cas ~hit:true in
+    let d1 = measured (fun () -> R.Atomic.fetch_and_add a 1) in
+    let d2 = measured (fun () -> R.Atomic.exchange b 9) in
+    let d3 = measured (fun () -> R.Atomic.compare_and_set c 0 1) in
+    let d4 = measured (fun () -> R.Atomic.compare_and_set d 99 1) in
+    let d5 = measured (fun () -> R.Atomic.fetch_and_add a 1) in
+    ok :=
+      d1 = miss && d2 = miss && d3 = miss && d4 = miss (* failed CAS *)
+      && d5 = hit (* already owned *)
+  in
+  ignore (Sim.Sched.run ~profile:Sim.Profile.x86 [| body |]);
+  check "faa, exchange, cas-ok and cas-fail all charge alike" true !ok
+
+let commit_kinds_and_wrote () =
+  (* the on_commit stream (which the DPOR explorer consumes) reports the
+     access kind and whether memory changed: reads and failed CASes are
+     wrote:false, everything else wrote:true *)
+  let c = R.Atomic.make 0 in
+  let log = ref [] in
+  let on_commit ~tid:_ ~cell:_ ~kind ~wrote = log := (kind, wrote) :: !log in
+  let body _ =
+    ignore (R.Atomic.get c);
+    R.Atomic.set c 1;
+    ignore (R.Atomic.compare_and_set c 1 2);
+    ignore (R.Atomic.compare_and_set c 99 3);
+    ignore (R.Atomic.fetch_and_add c 1);
+    ignore (R.Atomic.exchange c 7)
+  in
+  let r = Sim.Sched.run ~on_commit [| body |] in
+  let expected =
+    Sim.Sched.
+      [
+        (Read, false); (Write, true); (Cas, true); (Cas, false); (Cas, true);
+        (Cas, true);
+      ]
+  in
+  check "kinds and wrote flags" true (List.rev !log = expected);
+  check_int "reads counted" 1 r.reads;
+  check_int "writes counted" 1 r.writes;
+  check_int "cases counted (failures included)" 4 r.cases;
+  check_int "accesses total" 6 (Array.fold_left ( + ) 0 r.accesses)
+
+(* ---- schedule serialization and replay ---------------------------------- *)
+
+let schedule_strings () =
+  let module S = Sim.Sched.Schedule in
+  check "rle encoding" true (S.to_string [ 0; 0; 0; 1; 0; 0; 2; 2 ] = "0*3.1.0*2.2*2");
+  check "round trip" true
+    (S.of_string "0*3.1.0*2.2*2" = [ 0; 0; 0; 1; 0; 0; 2; 2 ]);
+  check "empty" true (S.to_string [] = "" && S.of_string "" = []);
+  List.iter
+    (fun bad ->
+      check ("rejects " ^ bad) true
+        (match S.of_string bad with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ "x"; "0**2"; "0*"; "1.*2"; "-1"; "0*-3" ]
+
+let record_and_replay () =
+  let mk () = (R.Atomic.make 0, R.Atomic.make 0) in
+  let go ?policy ?record_schedule (c, d) =
+    let body tid =
+      for _ = 1 to 25 do
+        let t = if (tid + R.rand_int 2) mod 2 = 0 then c else d in
+        ignore (R.Atomic.fetch_and_add t 1)
+      done
+    in
+    Sim.Sched.run ?policy ?record_schedule ~profile:Sim.Profile.niagara2
+      ~seed:11L (Array.make 3 body)
+  in
+  let p1 = mk () in
+  let r1 = go ~record_schedule:true p1 in
+  check "schedule recorded" true (r1.schedule <> []);
+  (* feeding the recorded schedule back reproduces the run exactly *)
+  let p2 = mk () in
+  let r2 = go ~policy:(Sim.Sched.replay r1.schedule) ~record_schedule:true p2 in
+  check "replay reproduces the schedule" true (r2.schedule = r1.schedule);
+  check "replay reproduces final state" true
+    (R.Atomic.get (fst p1) = R.Atomic.get (fst p2)
+    && R.Atomic.get (snd p1) = R.Atomic.get (snd p2));
+  check "replay reproduces clocks" true
+    (r1.span = r2.span && r1.clocks = r2.clocks);
+  (* and the string form survives the round trip through a shell *)
+  let p3 = mk () in
+  let sched = Sim.Sched.Schedule.(of_string (to_string r1.schedule)) in
+  let r3 = go ~policy:(Sim.Sched.replay sched) p3 in
+  check "string round-trip replays" true (r3.span = r1.span)
+
 let clock_monotone_per_thread () =
   let r =
     Sim.Sched.run ~profile:Sim.Profile.niagara2
@@ -225,6 +383,22 @@ let () =
           Alcotest.test_case "oversubscription slows" `Quick
             oversubscription_slows;
           Alcotest.test_case "clocks monotone" `Quick clock_monotone_per_thread;
+        ] );
+      ( "mesi",
+        [
+          Alcotest.test_case "single-thread transitions" `Quick
+            mesi_transitions;
+          Alcotest.test_case "peer-write invalidation" `Quick
+            mesi_peer_invalidation;
+          Alcotest.test_case "rmw accounting uniform" `Quick
+            rmw_accounting_uniform;
+          Alcotest.test_case "commit kinds and wrote flags" `Quick
+            commit_kinds_and_wrote;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "serializer" `Quick schedule_strings;
+          Alcotest.test_case "record and replay" `Quick record_and_replay;
         ] );
       ( "robustness",
         [
