@@ -6,6 +6,7 @@
     repro real [--panel P] [--threads N]   # wall-clock run on real domains
     repro chaos [--seed S] [--full]        # crash-stop + fault-injection sweep
     repro dpor [PROGRAM] [--schedule S]    # DPOR model checking / replay
+    repro progress [PROGRAM] [--quick]     # liveness certification / replay
     repro all [--quick]                    # everything, in paper order
     v} *)
 
@@ -496,6 +497,109 @@ let dpor_cmd =
       ret (const run_dpor $ program_arg $ budget_arg $ steps_arg
            $ schedule_arg $ trace_flag))
 
+(* ---------- progress: liveness certification ---------- *)
+
+let progress_entries name =
+  match name with
+  | None -> Ok Harness.Progress_exp.catalog
+  | Some n -> (
+      match Harness.Progress_exp.find n with
+      | Some e -> Ok [ e ]
+      | None ->
+          Error
+            (Printf.sprintf "unknown program %S (programs: %s)" n
+               (String.concat ", " (Harness.Progress_exp.names ()))))
+
+let run_progress program quick seed prefix pump =
+  let config =
+    if quick then Liveness.quick_config else Liveness.default_config
+  in
+  match (prefix, pump) with
+  | None, None -> (
+      match progress_entries program with
+      | Error msg -> `Error (false, msg)
+      | Ok entries ->
+          let all_ok =
+            List.fold_left
+              (fun acc (e : Harness.Progress_exp.entry) ->
+                let r = Liveness.certify ~config e.program in
+                Format.fprintf ppf "%a@." Liveness.pp_report r;
+                (match e.last_ops () with
+                | Some ops ->
+                    Format.fprintf ppf "  counters: %a@." Mound.Stats.Ops.pp
+                      ops
+                | None -> ());
+                Format.fprintf ppf "@.";
+                acc && r.Liveness.inconclusive = 0)
+              true entries
+          in
+          Format.pp_print_flush ppf ();
+          if all_ok then `Ok ()
+          else `Error (false, "some runs were inconclusive (raise the budget)")
+      )
+  | Some p, Some s -> (
+      match progress_entries program with
+      | Error msg -> `Error (false, msg)
+      | Ok [ e ] -> (
+          match
+            ( Sim.Sched.Schedule.of_string p,
+              Sim.Sched.Schedule.of_string s )
+          with
+          | exception Invalid_argument msg -> `Error (false, msg)
+          | prefix, pump ->
+              let seed = Int64.of_int seed in
+              let reproduced =
+                Liveness.run_cycle ~config ~seed e.program ~prefix ~pump
+              in
+              Format.fprintf ppf "%s: cycle %s@." e.name
+                (if reproduced then "REPRODUCED (non-progress confirmed)"
+                 else "did not reproduce");
+              Format.pp_print_flush ppf ();
+              `Ok ())
+      | Ok _ -> `Error (false, "--prefix/--pump replay needs a PROGRAM"))
+  | _ -> `Error (false, "--prefix and --pump must be given together")
+
+let progress_cmd =
+  let program_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM"
+          ~doc:"Catalog program to certify (default: all).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed for replay.")
+  in
+  let prefix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prefix" ] ~docv:"SCHED"
+          ~doc:"Replay: decisions before the cycle (e.g. $(i,0*3.1.0*2)).")
+  in
+  let pump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pump" ] ~docv:"SCHED"
+          ~doc:"Replay: one period of the repeating cycle.")
+  in
+  let doc =
+    "Certify progress properties on the liveness catalog: drive each \
+     program under fair and thread-suspension adversaries hunting \
+     non-progress cycles (livelock, deadlock, starvation), report \
+     worst-case starvation bounds, and print the structures' dynamic \
+     near-miss counters; or replay a reported cycle with \
+     --prefix/--pump."
+  in
+  Cmd.v (Cmd.info "progress" ~doc)
+    Term.(
+      ret
+        (const run_progress $ program_arg $ quick_flag $ seed_arg
+       $ prefix_arg $ pump_arg))
+
 (* ---------- everything ---------- *)
 
 let run_all quick =
@@ -520,6 +624,6 @@ let () =
        (Cmd.group info
           [
             table_cmd 1; table_cmd 2; table_cmd 3; table_cmd 4; fig2_cmd;
-            real_cmd; ablation_cmd; lin_cmd; chaos_cmd; dpor_cmd; shape_cmd;
-            all_cmd;
+            real_cmd; ablation_cmd; lin_cmd; chaos_cmd; dpor_cmd;
+            progress_cmd; shape_cmd; all_cmd;
           ]))

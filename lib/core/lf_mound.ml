@@ -141,8 +141,11 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
     let c =
       if round < max_insert_rounds then T.find_insert_point t.tree ~ge
       else begin
-        if round = max_insert_rounds then
+        if round = max_insert_rounds then begin
           t.ops.root_fallbacks <- t.ops.root_fallbacks + 1;
+          (* a full round budget burned without landing the insert *)
+          t.ops.livelock_near_misses <- t.ops.livelock_near_misses + 1
+        end;
         fallback_point t ~ge
       end
     in
@@ -191,6 +194,8 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
       implements the naive k-CSS scheme with a CASN whose upper legs
       rewrite each ancestor to itself, so benches can quantify what the
       DCSS insight saves. *)
+  (* lint: allow — deliberately naive ablation baseline: the paper's
+     strawman k-CSS insert retries without backoff by construction *)
   let rec insert_kcss t v =
     let ge i = Intf.Value.ge_elt Ord.compare (node_value (read t i)) v in
     let c = T.find_insert_point t.tree ~ge in
@@ -225,6 +230,8 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
       pool. The splice at node [c] needs [val(parent c) <= hd batch] and
       [last batch <= val(c)]; after a few failed attempts (wide batches
       rarely fit one node) the elements are inserted individually. *)
+  (* lint: allow — the retry is bounded (four attempts), then falls
+     back to per-element [insert], which carries the backoff *)
   let insert_many t batch =
     match batch with
     | [] -> ()
@@ -268,14 +275,24 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   (* ----- extraction ----- *)
 
-  let rec extract_min t =
+  (* Consecutive non-progress iterations of one extraction before the
+     attempt is counted as a livelock near miss: sustained spinning that
+     eventually resolved, the dynamic shadow of the liveness checker. *)
+  let near_miss_spins = 8
+
+  let bump_near_miss t spin =
+    if spin = near_miss_spins then
+      t.ops.livelock_near_misses <- t.ops.livelock_near_misses + 1
+
+  let rec extract_min_spin t spin =
+    bump_near_miss t spin;
     let slot = T.get t.tree 1 in
     let root = M.get slot in
     if root.dirty then begin
       (* An extraction is mid-flight; help restore the property (L24–L26). *)
       t.ops.helps <- t.ops.helps + 1;
       moundify t 1;
-      extract_min t
+      extract_min_spin t (spin + 1)
     end
     else
       match root.list with
@@ -288,19 +305,22 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
           end
           else begin
             t.ops.extract_retries <- t.ops.extract_retries + 1;
-            extract_min t
+            extract_min_spin t (spin + 1)
           end
+
+  let extract_min t = extract_min_spin t 0
 
   (** Take the root's whole sorted list in one linearizable step (§V):
       the same protocol as [extract_min], with the list emptied rather
       than beheaded. *)
-  let rec extract_many t =
+  let rec extract_many_spin t spin =
+    bump_near_miss t spin;
     let slot = T.get t.tree 1 in
     let root = M.get slot in
     if root.dirty then begin
       t.ops.helps <- t.ops.helps + 1;
       moundify t 1;
-      extract_many t
+      extract_many_spin t (spin + 1)
     end
     else
       match root.list with
@@ -313,8 +333,10 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
           end
           else begin
             t.ops.extract_retries <- t.ops.extract_retries + 1;
-            extract_many t
+            extract_many_spin t (spin + 1)
           end
+
+  let extract_many t = extract_many_spin t 0
 
   (** Probabilistic extract-min (§V): any non-dirty node is the root of a
       sub-mound, so extracting from a random node within the first

@@ -38,17 +38,29 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   let depth t = T.depth t.tree
 
+  (* Consecutive failed acquisitions of one [set_lock] call before the
+     wait is counted as a livelock near miss (sustained non-progress that
+     eventually resolved — the dynamic shadow of the liveness checker). *)
+  let near_miss_spins = 64
+
   (* Spin until the node is acquired; returns the contents observed at
      acquisition time (paper F1–F4). *)
-  let rec set_lock t slot =
-    let n = R.Atomic.get slot in
-    if (not n.locked) && R.Atomic.compare_and_set slot n { list = n.list; locked = true }
-    then n
-    else begin
-      t.ops.lock_spins <- t.ops.lock_spins + 1;
-      R.cpu_relax ();
-      set_lock t slot
-    end
+  let set_lock t slot =
+    let rec spin tries =
+      let n = R.Atomic.get slot in
+      if
+        (not n.locked)
+        && R.Atomic.compare_and_set slot n { list = n.list; locked = true }
+      then n
+      else begin
+        t.ops.lock_spins <- t.ops.lock_spins + 1;
+        if tries = near_miss_spins then
+          t.ops.livelock_near_misses <- t.ops.livelock_near_misses + 1;
+        R.cpu_relax ();
+        spin (tries + 1)
+      end
+    in
+    spin 0
 
   let unlock slot list = R.Atomic.set slot { list; locked = false }
 

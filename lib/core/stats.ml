@@ -27,6 +27,10 @@ module Ops = struct
             a node someone else dirtied) *)
     mutable lock_spins : int;
         (** failed lock acquisitions (locking variant only) *)
+    mutable livelock_near_misses : int;
+        (** retry/spin loops that ran unusually long before succeeding —
+            the dynamic shadow of the liveness checker's cycle detector:
+            sustained non-progress that eventually resolved *)
   }
 
   let create () =
@@ -37,6 +41,7 @@ module Ops = struct
       extract_retries = 0;
       helps = 0;
       lock_spins = 0;
+      livelock_near_misses = 0;
     }
 
   let reset c =
@@ -45,14 +50,15 @@ module Ops = struct
     c.root_fallbacks <- 0;
     c.extract_retries <- 0;
     c.helps <- 0;
-    c.lock_spins <- 0
+    c.lock_spins <- 0;
+    c.livelock_near_misses <- 0
 
   let pp ppf c =
     Format.fprintf ppf
       "insert retries %d (backoffs %d, root fallbacks %d), extract \
-       retries %d, helps %d, lock spins %d"
+       retries %d, helps %d, lock spins %d, livelock near misses %d"
       c.insert_retries c.insert_backoffs c.root_fallbacks c.extract_retries
-      c.helps c.lock_spins
+      c.helps c.lock_spins c.livelock_near_misses
 end
 
 type level = {

@@ -64,6 +64,8 @@ module Make (R : Runtime.S) = struct
      advancing [depth] past an unpublished row would make [get] fail.
      The depth CAS needs no such loop — callers re-read [depth] and call
      [expand] again if it has not moved. *)
+  (* lint: allow — publish retries only on spurious weak-CAS failure
+     and exits as soon as any thread's row is visible; no backoff *)
   let expand t d =
     if d >= max_levels then failwith "Mound.Tree.expand: tree is full";
     let row = lazy (Array.init (1 lsl d) (fun _ -> t.make_slot ())) in
@@ -71,10 +73,12 @@ module Make (R : Runtime.S) = struct
       match R.Atomic.get t.rows.(d) with
       | Some _ -> ()
       | None ->
+          (* lint: allow — idempotent publish; the loop re-reads the row *)
           ignore (R.Atomic.compare_and_set t.rows.(d) None (Some (Lazy.force row)));
           publish ()
     in
     publish ();
+    (* lint: allow — depth advance is optional; callers re-read and retry *)
     ignore (R.Atomic.compare_and_set t.depth d (d + 1))
 
   (* Binary search along the ancestor chain of [leaf] (depth [d] levels)

@@ -236,11 +236,15 @@ let primitive_costs () =
     (r.reads, r.cases)
   in
   let a = M.make 1 and b = M.make 2 in
-  let cas_counts = count (fun () -> ignore (M.cas a (M.get a) 3)) in
+  (* [drop] deliberately sinks each primitive's result: this measures
+     the cost of the attempt, not its outcome (the cells are
+     uncontended, so every attempt succeeds anyway). *)
+  let drop (_ : bool) = () in
+  let cas_counts = count (fun () -> drop (M.cas a (M.get a) 3)) in
   let dcas_counts =
-    count (fun () -> ignore (M.dcas a (M.get a) 4 b (M.get b) 5))
+    count (fun () -> drop (M.dcas a (M.get a) 4 b (M.get b) 5))
   in
-  let dcss_counts = count (fun () -> ignore (M.dcss a (M.get a) b (M.get b) 6)) in
+  let dcss_counts = count (fun () -> drop (M.dcss a (M.get a) b (M.get b) 6)) in
   [ ("cas", cas_counts); ("dcas", dcas_counts); ("dcss", dcss_counts) ]
 
 let print_primitives ppf rows =

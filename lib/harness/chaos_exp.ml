@@ -175,7 +175,8 @@ let add_ops (into : Mound.Stats.Ops.t) (o : Mound.Stats.Ops.t) =
   into.root_fallbacks <- into.root_fallbacks + o.root_fallbacks;
   into.extract_retries <- into.extract_retries + o.extract_retries;
   into.helps <- into.helps + o.helps;
-  into.lock_spins <- into.lock_spins + o.lock_spins
+  into.lock_spins <- into.lock_spins + o.lock_spins;
+  into.livelock_near_misses <- into.livelock_near_misses + o.livelock_near_misses
 
 (* Generic sweep over a structure: [make] returns a fresh handle plus
    its ops-counter, leak-test and fullness closures. *)
@@ -261,8 +262,10 @@ let make_lf () =
       insert = Lf.insert q;
       extract_min = (fun () -> Lf.extract_min q);
       extract_many = (fun () -> Lf.extract_many q);
+      extract_approx = (fun () -> Lf.extract_approx q);
       size = (fun () -> Lf.size q);
       check = (fun () -> Lf.check q);
+      ops = (fun () -> Some (Lf.ops q));
     }
   in
   let stats () =
@@ -282,8 +285,10 @@ let make_lock () =
       insert = Lock.insert q;
       extract_min = (fun () -> Lock.extract_min q);
       extract_many = (fun () -> Lock.extract_many q);
+      extract_approx = (fun () -> Lock.extract_approx q);
       size = (fun () -> Lock.size q);
       check = (fun () -> Lock.check q);
+      ops = (fun () -> Some (Lock.ops q));
     }
   in
   let stats () =

@@ -13,7 +13,8 @@
 
     Shared by [test_dpor] and the [repro dpor] subcommand. *)
 
-type script = [ `Insert of int | `Extract ] list
+type script =
+  [ `Insert of int | `Extract | `Extract_many | `Extract_approx ] list
 
 (** Build a {!Check.program} over any priority queue. [lin:false]
     downgrades the oracle to invariant + conservation (for quiescently
@@ -44,12 +45,15 @@ let pq_program ~name ~(make : unit -> Pq.t) ?(prepopulate = [])
           @ List.concat_map
               (List.filter_map (function
                 | `Insert v -> Some v
-                | `Extract -> None))
+                | _ -> None))
               scripts
         in
         let extracted =
-          List.filter_map
-            (function { Lin.op = Ext (Some v); _ } -> Some v | _ -> None)
+          List.concat_map
+            (function
+              | { Lin.op = Ext (Some v); _ } -> [ v ]
+              | { Lin.op = Ext_many l; _ } -> l
+              | _ -> [])
             events
         in
         let rec drain acc =
@@ -112,10 +116,31 @@ let mcas_program : Check.program =
   in
   { Check.name = "mcas"; prepare }
 
+(* extract-many racing an insert: the root CAS (lock-free) or root lock
+   (locking) conflicts with the insert's validation; the Ext_many history
+   entry exercises the checker's whole-list linearization rule. *)
+let many ~name ~lin (maker : Pq.maker) =
+  pq_program ~name
+    ~make:(fun () -> maker.Pq.make ~capacity:64)
+    ~prepopulate:[ 2 ] ~lin
+    [ [ `Insert 1; `Extract_many ]; [ `Insert 3 ] ]
+
+(* extract-approx probes a random shallow node, so its return value is
+   only quiescently meaningful — conservation oracle only (lin:false). *)
+let approx ~name (maker : Pq.maker) =
+  pq_program ~name
+    ~make:(fun () -> maker.Pq.make ~capacity:64)
+    ~prepopulate:[ 2 ] ~lin:false
+    [ [ `Insert 1; `Extract_approx ]; [ `Insert 3 ] ]
+
 let catalog : (string * Check.program) list =
   [
     ("lf-mound", standard ~name:"lf-mound" ~lin:true Pq.On_sim.mound_lf);
     ("lock-mound", standard ~name:"lock-mound" ~lin:true Pq.On_sim.mound_lock);
+    ("lf-mound-many", many ~name:"lf-mound-many" ~lin:true Pq.On_sim.mound_lf);
+    ( "lock-mound-many",
+      many ~name:"lock-mound-many" ~lin:true Pq.On_sim.mound_lock );
+    ("lf-mound-approx", approx ~name:"lf-mound-approx" Pq.On_sim.mound_lf);
     ("stm-heap", standard ~name:"stm-heap" ~lin:true Pq.On_sim.stm_heap);
     ("skiplist", standard ~name:"skiplist" ~lin:false Pq.On_sim.skiplist);
     ("mcas", mcas_program);

@@ -17,7 +17,10 @@
     - {!Chaos_exp}: crash-stop sweeps under fault injection — the
       progress-guarantee evaluation behind [repro chaos];
     - {!Dpor_exp}: the fixed small programs model-checked by
-      {!Check.explore} — behind [repro dpor] and the DPOR test tier. *)
+      {!Check.explore} — behind [repro dpor] and the DPOR test tier;
+    - {!Progress_exp}: the fixed programs certified by
+      {!Liveness.certify} — behind [repro progress] and the progress
+      test tier. *)
 
 module Barrier = Barrier
 module Pq = Pq
@@ -30,3 +33,4 @@ module Ablation = Ablation
 module Lin = Lin
 module Chaos_exp = Chaos_exp
 module Dpor_exp = Dpor_exp
+module Progress_exp = Progress_exp

@@ -9,7 +9,7 @@
     tractable in practice (the model state is a function of that set,
     because each extract's return value is fixed by the history). *)
 
-type op = Ins of int | Ext of int option
+type op = Ins of int | Ext of int option | Ext_many of int list
 
 type event = { inv : int; resp : int; op : op }
 
@@ -30,6 +30,8 @@ let recorder ?(now = Sim.Sched.now) (q : Pq.t) script =
               q.insert v;
               Ins v
           | `Extract -> Ext (q.extract_min ())
+          | `Extract_many -> Ext_many (q.extract_many ())
+          | `Extract_approx -> Ext (q.extract_approx ())
         in
         let resp = now () in
         events := { inv; resp; op } :: !events)
@@ -50,11 +52,36 @@ let check ?(init = []) events =
     | [] -> [ v ]
     | x :: rest as l -> if v <= x then v :: l else x :: insert_sorted v rest
   in
+  (* Remove each element of the (sorted) [l] from the (sorted) [model]
+     multiset; a merge-style walk. *)
+  let rec subtract model l =
+    match (model, l) with
+    | _, [] -> Some model
+    | [], _ :: _ -> None
+    | m :: mrest, x :: xrest ->
+        if m = x then subtract mrest xrest
+        else if m < x then
+          match subtract mrest l with
+          | Some rest -> Some (m :: rest)
+          | None -> None
+        else None
+  in
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+  in
   let apply model = function
     | Ins v -> Some (insert_sorted v model)
     | Ext None -> if model = [] then Some [] else None
     | Ext (Some v) -> (
         match model with m :: rest when m = v -> Some rest | _ -> None)
+    | Ext_many [] -> if model = [] then Some [] else None
+    | Ext_many (hd :: _ as l) -> (
+        (* an extract-many takes one node's whole sorted list whose head
+           is the global minimum; the tail is NOT the k smallest *)
+        match model with
+        | m :: _ when m = hd && sorted l -> subtract model l
+        | _ -> None)
   in
   let rec explore done_mask model =
     if done_mask = (1 lsl n) - 1 then true

@@ -13,8 +13,13 @@ type t = {
   extract_many : unit -> int list;
       (** structures without a native extract-many degrade to a singleton
           [extract_min] *)
+  extract_approx : unit -> int option;
+      (** probabilistic extract-min (mounds only); structures without a
+          native variant degrade to the exact [extract_min] *)
   size : unit -> int;
   check : unit -> bool;  (** quiescent invariant check *)
+  ops : unit -> Mound.Stats.Ops.t option;
+      (** dynamic progress counters, for the structures that keep them *)
 }
 
 type maker = { make : capacity:int -> t }
@@ -36,8 +41,10 @@ module Of_runtime (R : Runtime.S) = struct
             insert = Lock.insert q;
             extract_min = (fun () -> Lock.extract_min q);
             extract_many = (fun () -> Lock.extract_many q);
+            extract_approx = (fun () -> Lock.extract_approx q);
             size = (fun () -> Lock.size q);
             check = (fun () -> Lock.check q);
+            ops = (fun () -> Some (Lock.ops q));
           });
     }
 
@@ -51,8 +58,10 @@ module Of_runtime (R : Runtime.S) = struct
             insert = Lf.insert q;
             extract_min = (fun () -> Lf.extract_min q);
             extract_many = (fun () -> Lf.extract_many q);
+            extract_approx = (fun () -> Lf.extract_approx q);
             size = (fun () -> Lf.size q);
             check = (fun () -> Lf.check q);
+            ops = (fun () -> Some (Lf.ops q));
           });
     }
 
@@ -68,6 +77,8 @@ module Of_runtime (R : Runtime.S) = struct
             extract_min;
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
+            extract_approx = extract_min;
+            ops = (fun () -> None);
             size = (fun () -> Hunt.size q);
             check = (fun () -> Hunt.check q);
           });
@@ -85,6 +96,8 @@ module Of_runtime (R : Runtime.S) = struct
             extract_min;
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
+            extract_approx = extract_min;
+            ops = (fun () -> None);
             size = (fun () -> Sl.size q);
             check = (fun () -> Sl.check q);
           });
@@ -104,6 +117,8 @@ module Of_runtime (R : Runtime.S) = struct
             extract_min;
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
+            extract_approx = extract_min;
+            ops = (fun () -> None);
             size = (fun () -> Sl_lock.size q);
             check = (fun () -> Sl_lock.check q);
           });
@@ -123,6 +138,8 @@ module Of_runtime (R : Runtime.S) = struct
             extract_min;
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
+            extract_approx = extract_min;
+            ops = (fun () -> None);
             size = (fun () -> Stm_h.size q);
             check = (fun () -> Stm_h.check q);
           });
@@ -140,6 +157,8 @@ module Of_runtime (R : Runtime.S) = struct
             extract_min;
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
+            extract_approx = extract_min;
+            ops = (fun () -> None);
             size = (fun () -> Coarse.size q);
             check = (fun () -> Coarse.check q);
           });

@@ -9,8 +9,13 @@ type t = {
   extract_many : unit -> int list;
       (** structures without a native extract-many degrade to a singleton
           [extract_min] *)
+  extract_approx : unit -> int option;
+      (** probabilistic extract-min (mounds only); structures without a
+          native variant degrade to the exact [extract_min] *)
   size : unit -> int;  (** quiescent element count *)
   check : unit -> bool;  (** quiescent invariant check *)
+  ops : unit -> Mound.Stats.Ops.t option;
+      (** dynamic progress counters, for the structures that keep them *)
 }
 
 type maker = { make : capacity:int -> t }

@@ -11,15 +11,34 @@
     - [mutable] record fields in a type that the same file publishes
       through an [Atomic.t] cell — such records look atomic but their
       fields are plain racy memory;
+    - violations of the helping discipline the lock-free mound depends
+      on (rules [dirty-spin], [cas-discard], [retry-no-backoff]): a
+      retry loop that re-tests a [dirty] bit without calling a
+      restoration/helping routine, a compare-and-set whose result is
+      silently discarded, and an unbounded retry loop around a CAS with
+      neither backoff nor helping. Recognition is by naming convention:
+      an identifier containing [help], [moundify] or [complete] marks a
+      helping call; one containing [backoff], [exponential] or
+      [cpu_relax] marks backoff;
     - formatting nits that otherwise accumulate: tab characters,
       trailing whitespace, missing final newline.
 
-    A comment containing ["lint: allow"] waives findings on its own and
-    the following line; ["lint: allow-file"] waives the whole file's
-    boundary findings (formatting still applies). The exemption for
-    [lib/runtime] and [lib/sim] is by path: any file with a [runtime] or
-    [sim] directory component may touch the forbidden primitives — they
-    are the boundary. *)
+    A comment that {e begins} with ["lint: allow"] waives findings on
+    its own and the following line; one beginning with
+    ["lint: allow-file"] waives the whole file's boundary findings
+    (formatting still applies). Prose that merely mentions a marker —
+    like this paragraph — registers nothing. Every waiver must carry a
+    reason after the marker (["lint: allow — setup-only id source"]); a
+    reasonless waiver, and a waiver whose covered lines produce no
+    finding (stale), are themselves findings under the [waiver] rule —
+    which no waiver can silence. The exemption for [lib/runtime] and
+    [lib/sim] is by path: any file with a [runtime] or [sim] directory
+    component may touch the forbidden primitives — they are the
+    boundary. [lib/baselines] is exempt from the helping rules only:
+    its files reproduce published third-party algorithms (Hunt heap,
+    Lotan–Shavit and lock-free skiplists) whose loops are faithful to
+    the originals, and the mound's helping discipline does not apply to
+    them. *)
 
 type finding = { file : string; line : int; rule : string; msg : string }
 
@@ -32,6 +51,9 @@ type stripped = {
   clean : string;
       (* comments and string/char literals blanked out, newlines kept *)
   waived : (int, unit) Hashtbl.t;  (* line numbers covered by a waiver *)
+  waivers : (int * int list * bool) list;
+      (* each line waiver: its line, the lines it covers, reasoned? *)
+  file_waivers : (int * bool) list;  (* each allow-file: line, reasoned? *)
   file_waived : bool;
 }
 
@@ -41,6 +63,29 @@ let is_ident_char c =
   || (c >= '0' && c <= '9')
   || c = '_' || c = '\''
 
+let has_sub s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  go 0
+
+(* A waiver's reason is whatever follows the marker inside the comment;
+   demand enough of it to actually say something. *)
+let reasoned_after text marker =
+  let lt = String.length text and lm = String.length marker in
+  let rec find i =
+    if i + lm > lt then None
+    else if String.sub text i lm = marker then Some (i + lm)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some j ->
+      let alnum = ref 0 in
+      String.iter
+        (fun c -> if is_ident_char c then incr alnum)
+        (String.sub text j (lt - j));
+      !alnum >= 8
+
 (* Blank out comments (nested, and containing strings) and string/char
    literals, recording waiver comments as we go. The cleaned buffer has
    the same length and line structure as the source. *)
@@ -48,6 +93,8 @@ let strip src =
   let n = String.length src in
   let clean = Bytes.of_string src in
   let waived = Hashtbl.create 8 in
+  let waivers = ref [] in
+  let file_waivers = ref [] in
   let file_waived = ref false in
   let line = ref 1 in
   let blank i = if Bytes.get clean i <> '\n' then Bytes.set clean i ' ' in
@@ -69,12 +116,19 @@ let strip src =
       else if c = '"' then i + 1
       else skip_string (i + 1)
   in
-  let contains_sub s sub =
-    let ls = String.length s and lb = String.length sub in
-    let rec go i =
-      i + lb <= ls && (String.sub s i lb = sub || go (i + 1))
-    in
-    go 0
+  (* A waiver comment is dedicated: the marker must lead the comment,
+     after the opener's asterisks and whitespace. Prose that merely
+     mentions a marker mid-sentence registers nothing — otherwise this
+     module's own documentation would waive itself. *)
+  let leads_with text marker =
+    let lt = String.length text and lm = String.length marker in
+    let j = ref 2 in
+    while
+      !j < lt && (text.[!j] = '*' || text.[!j] = ' ' || text.[!j] = '\n')
+    do
+      incr j
+    done;
+    !j + lm <= lt && String.sub text !j lm = marker
   in
   let rec skip_comment i depth start =
     if i >= n then i
@@ -107,12 +161,21 @@ let strip src =
       blank (!i + 1);
       i := skip_comment (!i + 2) 1 !i;
       let text = String.sub src from (min n !i - from) in
-      if contains_sub text "lint: allow-file" then file_waived := true
-      else if contains_sub text "lint: allow" then begin
-        Hashtbl.replace waived start_line ();
-        Hashtbl.replace waived (start_line + 1) ();
+      if leads_with text "lint: allow-file" then begin
+        file_waived := true;
+        file_waivers :=
+          (start_line, reasoned_after text "lint: allow-file")
+          :: !file_waivers
+      end
+      else if leads_with text "lint: allow" then begin
         (* a waiver on its own line covers the next code line too *)
-        Hashtbl.replace waived (!line + 1) ()
+        let covered =
+          List.sort_uniq compare [ start_line; start_line + 1; !line + 1 ]
+        in
+        List.iter (fun l -> Hashtbl.replace waived l ()) covered;
+        waivers :=
+          (start_line, covered, reasoned_after text "lint: allow")
+          :: !waivers
       end
     end
     else if c = '"' then begin
@@ -154,7 +217,13 @@ let strip src =
       incr i
     end
   done;
-  { clean = Bytes.to_string clean; waived; file_waived = !file_waived }
+  {
+    clean = Bytes.to_string clean;
+    waived;
+    waivers = List.rev !waivers;
+    file_waivers = List.rev !file_waivers;
+    file_waived = !file_waived;
+  }
 
 let line_index src =
   let lines = ref [ 0 ] in
@@ -329,6 +398,213 @@ let scan_mutable_atomic ~file s idx =
         else None)
       recs
 
+(* ---- helping-discipline rules ------------------------------------------ *)
+
+let last_seg tok =
+  match String.rindex_opt tok '.' with
+  | Some i -> String.sub tok (i + 1) (String.length tok - i - 1)
+  | None -> tok
+
+let cas_names = [ "cas"; "casn"; "dcas"; "dcss"; "compare_and_set" ]
+
+(* A CAS {e call} site is a dotted path ([M.cas],
+   [R.Atomic.compare_and_set]) that is not the target of a field
+   assignment. A bare [cas] is a record label or type field
+   ([cas : int], [cas = r.cases]); a dotted token followed by [<-] is a
+   counter update ([counters.cas <- 0]). Neither performs a CAS. *)
+let is_cas clean (tok, off) =
+  List.mem (last_seg tok) cas_names
+  && String.contains tok '.'
+  &&
+  let n = String.length clean in
+  let j = ref (off + String.length tok) in
+  while !j < n && clean.[!j] = ' ' do
+    incr j
+  done;
+  not (!j + 1 < n && clean.[!j] = '<' && clean.[!j + 1] = '-')
+
+let is_help tok =
+  has_sub tok "help" || has_sub tok "moundify" || has_sub tok "complete"
+
+let is_backoff tok =
+  has_sub tok "ackoff" || has_sub tok "exponential" || has_sub tok "cpu_relax"
+
+(* Top-level-ish definition chunks: a chunk starts at each [let] that
+   begins a line at indentation <= 2 (file scope, or the body of one
+   functor/module). [and] continuations stay in the same chunk, so a
+   mutually recursive group is judged as a whole. *)
+type chunk = { c_line : int; c_toks : (string * int) list; c_rec : bool }
+
+let chunks clean idx =
+  let at_margin off =
+    let i = ref (off - 1) and ok = ref true and c = ref 0 in
+    while !i >= 0 && clean.[!i] <> '\n' do
+      if clean.[!i] <> ' ' then ok := false;
+      decr i;
+      incr c
+    done;
+    !ok && !c <= 2
+  in
+  let out = ref [] and cur = ref [] and cur_line = ref 0 in
+  let flush () =
+    match !cur with
+    | [] -> ()
+    | toks ->
+        let toks = List.rev toks in
+        out :=
+          {
+            c_line = !cur_line;
+            c_toks = toks;
+            c_rec = List.exists (fun (t, _) -> t = "rec") toks;
+          }
+          :: !out
+  in
+  List.iter
+    (fun (tok, off) ->
+      if tok = "let" && at_margin off then begin
+        flush ();
+        cur := [];
+        cur_line := line_of idx off
+      end;
+      cur := (tok, off) :: !cur)
+    (tokens clean);
+  flush ();
+  List.rev !out
+
+(* Is the [.dirty] access at [off] (token [tok]) a branch test? Walk the
+   line backwards over the receiver expression: a test is introduced by
+   [if]/[while] (possibly through [not] and parentheses) or continues a
+   condition after [&&]/[||]. [dirty = cur.dirty] in a record copy walks
+   back to [=] and is not a test. *)
+let dirty_test clean off =
+  let i = ref (off - 1) in
+  let continue_ = ref true and verdict = ref false in
+  while !continue_ do
+    while !i >= 0 && (clean.[!i] = ' ' || clean.[!i] = '(') do
+      decr i
+    done;
+    if !i < 0 || clean.[!i] = '\n' then continue_ := false
+    else if clean.[!i] = '&' || clean.[!i] = '|' then begin
+      verdict := true;
+      continue_ := false
+    end
+    else if is_ident_char clean.[!i] then begin
+      let e = !i in
+      while !i >= 0 && is_ident_char clean.[!i] do
+        decr i
+      done;
+      let w = String.sub clean (!i + 1) (e - !i) in
+      if w = "if" || w = "while" then begin
+        verdict := true;
+        continue_ := false
+      end
+      else if w <> "not" then continue_ := false
+    end
+    else continue_ := false
+  done;
+  !verdict
+
+(* Is the CAS-family call at [off] discarded? [ignore (M.cas ...)],
+   [let _ = M.cas ...], or statement position after [;]. *)
+let cas_discarded clean off =
+  let i = ref (off - 1) in
+  let skip_ws () =
+    while
+      !i >= 0 && (clean.[!i] = ' ' || clean.[!i] = '\n' || clean.[!i] = '\t')
+    do
+      decr i
+    done
+  in
+  let prev_word () =
+    let e = !i in
+    while !i >= 0 && is_ident_char clean.[!i] do
+      decr i
+    done;
+    String.sub clean (!i + 1) (e - !i)
+  in
+  skip_ws ();
+  if !i < 0 then false
+  else if clean.[!i] = ';' then true
+  else if clean.[!i] = '(' then begin
+    decr i;
+    skip_ws ();
+    !i >= 0 && is_ident_char clean.[!i] && prev_word () = "ignore"
+  end
+  else if clean.[!i] = '=' then begin
+    decr i;
+    skip_ws ();
+    !i >= 0 && is_ident_char clean.[!i] && prev_word () = "_"
+  end
+  else false
+
+(* [lib/baselines] reproduces third-party algorithms structurally
+   faithful to their publications; the mound's helping discipline does
+   not bind them (the runtime-boundary rules still do). *)
+let helping_exempt_path path =
+  exempt_path path
+  || String.split_on_char '/' path
+     |> List.exists (fun seg -> seg = "baselines")
+
+let scan_helping ~path ~file s idx =
+  if helping_exempt_path path then []
+  else
+    List.concat_map
+      (fun ch ->
+        let has p = List.exists (fun (t, _) -> p t) ch.c_toks in
+        let helped = has is_help in
+        let has_cas_call = List.exists (is_cas s.clean) ch.c_toks in
+        let out = ref [] in
+        if ch.c_rec && has_cas_call && (not (has is_backoff)) && not helped
+        then
+          out :=
+            {
+              file;
+              line = ch.c_line;
+              rule = "retry-no-backoff";
+              msg =
+                "unbounded retry loop around a compare-and-set with \
+                 neither backoff nor helping";
+            }
+            :: !out;
+        if ch.c_rec && not helped then
+          List.iter
+            (fun (t, off) ->
+              if
+                last_seg t = "dirty"
+                && String.contains t '.'
+                && dirty_test s.clean off
+              then
+                out :=
+                  {
+                    file;
+                    line = line_of idx off;
+                    rule = "dirty-spin";
+                    msg =
+                      "retry loop re-tests a dirty bit without helping; \
+                       call the restoration routine (moundify) instead \
+                       of spinning";
+                  }
+                  :: !out)
+            ch.c_toks;
+        if not helped then
+          List.iter
+            (fun (t, off) ->
+              if is_cas s.clean (t, off) && cas_discarded s.clean off then
+                out :=
+                  {
+                    file;
+                    line = line_of idx off;
+                    rule = "cas-discard";
+                    msg =
+                      "compare-and-set result silently discarded; branch \
+                       on it (retry or help) or record why it is \
+                       irrelevant";
+                  }
+                  :: !out)
+            ch.c_toks;
+        List.rev !out)
+      (chunks s.clean idx)
+
 (* ---- format rules ------------------------------------------------------ *)
 
 let scan_format ~file src =
@@ -353,12 +629,64 @@ let scan_format ~file src =
 let scan ~path src =
   let s = strip src in
   let idx = line_index src in
-  let boundary =
-    if s.file_waived then []
-    else scan_boundary ~path ~file:path s idx @ scan_mutable_atomic ~file:path s idx
+  let boundary_all =
+    scan_boundary ~path ~file:path s idx
+    @ scan_mutable_atomic ~file:path s idx
   in
-  let all = boundary @ scan_format ~file:path src in
-  List.filter (fun f -> not (Hashtbl.mem s.waived f.line)) all
+  let boundary = if s.file_waived then [] else boundary_all in
+  let base =
+    boundary
+    @ scan_helping ~path ~file:path s idx
+    @ scan_format ~file:path src
+  in
+  (* Waiver hygiene: a waiver needs a reason and a live finding to
+     waive. These findings are not themselves waivable. *)
+  let hygiene =
+    List.filter_map
+      (fun (line, covered, reasoned) ->
+        if not reasoned then
+          Some
+            {
+              file = path;
+              line;
+              rule = "waiver";
+              msg =
+                "waiver without a reason; say why, e.g. (* lint: allow \
+                 — setup-only id source *)";
+            }
+        else if not (List.exists (fun f -> List.mem f.line covered) base)
+        then
+          Some
+            {
+              file = path;
+              line;
+              rule = "waiver";
+              msg = "stale waiver: no finding on the lines it covers";
+            }
+        else None)
+      s.waivers
+    @ List.filter_map
+        (fun (line, reasoned) ->
+          if not reasoned then
+            Some
+              {
+                file = path;
+                line;
+                rule = "waiver";
+                msg = "file waiver without a reason; say why";
+              }
+          else if boundary_all = [] then
+            Some
+              {
+                file = path;
+                line;
+                rule = "waiver";
+                msg = "stale file waiver: no boundary finding in the file";
+              }
+          else None)
+        s.file_waivers
+  in
+  List.filter (fun f -> not (Hashtbl.mem s.waived f.line)) base @ hygiene
   |> List.sort (fun a b -> compare (a.line, a.rule) (b.line, b.rule))
 
 let scan_file path =

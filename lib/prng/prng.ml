@@ -22,6 +22,8 @@ let bool t = Int64.logand (Xoshiro256.next t) 1L = 1L
 
 let int64 = Xoshiro256.next
 
+let fingerprint = Xoshiro256.fingerprint
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = Xoshiro256.next_int t (i + 1) in

@@ -27,5 +27,8 @@ val bool : t -> bool
 
 val int64 : t -> int64
 
+val fingerprint : t -> int
+(** Hash of the generator's current state — see {!Xoshiro256.fingerprint}. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)

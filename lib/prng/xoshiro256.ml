@@ -22,6 +22,19 @@ let create seed =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+(* A cheap mixing of the four state words into one int; used by the
+   liveness checker to include "how much randomness has this thread
+   consumed" in its state fingerprints. Not a hash of the output stream —
+   equal fingerprints mean equal states for all practical purposes. *)
+let fingerprint t =
+  let mix acc w =
+    let acc = Int64.logxor acc w in
+    let acc = Int64.mul acc 0xFF51AFD7ED558CCDL in
+    Int64.logxor acc (Int64.shift_right_logical acc 33)
+  in
+  let h = mix (mix (mix (mix 0x9E3779B97F4A7C15L t.s0) t.s1) t.s2) t.s3 in
+  Int64.to_int h land max_int
+
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 

@@ -20,6 +20,12 @@ val of_state : int64 -> int64 -> int64 -> int64 -> t
 val copy : t -> t
 (** Independent generator with the same future stream. *)
 
+val fingerprint : t -> int
+(** Non-negative hash of the current 256-bit state. Two generators with
+    the same fingerprint have (for all practical purposes) the same state;
+    the liveness checker folds this into its state fingerprints so that a
+    thread consuming randomness never looks like a repeated state. *)
+
 val next : t -> int64
 (** Next 64-bit output. *)
 

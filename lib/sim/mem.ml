@@ -32,10 +32,53 @@ let bit tid = Int64.shift_left 1L tid
    tell cells of a fresh program instance from a previous one's. *)
 let next_id = ref 0
 
+(* ---- shared-memory fingerprinting (liveness checker support) ----
+
+   While tracking is on, [fp] maintains a commutative hash of the value
+   of every cell created since [track_begin]: the sum over cells of
+   mix(id, hash value). Sums commute, so each write only has to subtract
+   the cell's previous contribution and add the new one — O(1) per write,
+   zero cost when tracking is off. [Hashtbl.hash_param] with a generous
+   meaningful-node budget keeps deep structures (mound trees, descriptor
+   chains) from collapsing to equal hashes; structures additionally carry
+   seq counters that change on every update. *)
+
+let tracking = ref false
+let fp = ref 0
+let contrib : (int, int) Hashtbl.t = Hashtbl.create 256
+
+let mix id h =
+  let x = (id * 0x9E3779B1) lxor (h * 0x85EBCA77) in
+  (x lxor (x lsr 15)) land max_int
+
+let value_hash v = Hashtbl.hash_param 128 256 v
+
+let track_record r =
+  let c = mix r.id (value_hash r.value) in
+  (match Hashtbl.find_opt contrib r.id with
+  | Some old -> fp := !fp - old
+  | None -> ());
+  Hashtbl.replace contrib r.id c;
+  fp := !fp + c
+
+let track_begin () =
+  tracking := true;
+  fp := 0;
+  Hashtbl.reset contrib
+
+let track_end () =
+  tracking := false;
+  fp := 0;
+  Hashtbl.reset contrib
+
+let fingerprint () = !fp land max_int
+
 let make v =
   let id = !next_id in
   incr next_id;
-  { id; value = v; owner = -1; readers = 0L }
+  let r = { id; value = v; owner = -1; readers = 0L } in
+  if !tracking then track_record r;
+  r
 
 let id r = r.id
 
@@ -76,20 +119,28 @@ let set r v =
   if Sched.active () then begin
     acquire_exclusive Write r;
     r.value <- v;
+    if !tracking then track_record r;
     Sched.commit ~cell:r.id ~kind:Write ~wrote:true
   end
-  else r.value <- v
+  else begin
+    r.value <- v;
+    if !tracking then track_record r
+  end
 
 let compare_and_set r expected v =
   if Sched.active () then begin
     acquire_exclusive Cas r;
     let ok = r.value == expected in
-    if ok then r.value <- v;
+    if ok then begin
+      r.value <- v;
+      if !tracking then track_record r
+    end;
     Sched.commit ~cell:r.id ~kind:Cas ~wrote:ok;
     ok
   end
   else if r.value == expected then begin
     r.value <- v;
+    if !tracking then track_record r;
     true
   end
   else false
@@ -99,12 +150,14 @@ let exchange r v =
     acquire_exclusive Cas r;
     let old = r.value in
     r.value <- v;
+    if !tracking then track_record r;
     Sched.commit ~cell:r.id ~kind:Cas ~wrote:true;
     old
   end
   else begin
     let old = r.value in
     r.value <- v;
+    if !tracking then track_record r;
     old
   end
 
@@ -113,11 +166,13 @@ let fetch_and_add (r : int t) n =
     acquire_exclusive Cas r;
     let old = r.value in
     r.value <- old + n;
+    if !tracking then track_record r;
     Sched.commit ~cell:r.id ~kind:Cas ~wrote:true;
     old
   end
   else begin
     let old = r.value in
     r.value <- old + n;
+    if !tracking then track_record r;
     old
   end

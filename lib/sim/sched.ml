@@ -300,6 +300,16 @@ let ambient_rng = ref (Prng.create 0xA3B1E47L)
 
 let seed_ambient seed = ambient_rng := Prng.create seed
 
+(** Hash of simulated thread [tid]'s PRNG state. The liveness checker
+    folds it into its state fingerprints: a thread that consumed
+    randomness (backoff jitter, workload draws) is in a different control
+    state even when shared memory looks identical. 0 outside a run. *)
+let rng_fingerprint tid =
+  match !active_sched with
+  | Some sched when tid >= 0 && tid < sched.nthreads ->
+      Prng.fingerprint sched.threads.(tid).rng
+  | _ -> 0
+
 let rand_int bound =
   match !active_thread with
   | Some th ->

@@ -176,6 +176,11 @@ val commit : cell:int -> kind:access -> wrote:bool -> unit
 val relax : unit -> unit
 (** A [cpu_relax] pause: local charge, no yield. *)
 
+val rng_fingerprint : int -> int
+(** [rng_fingerprint tid] hashes simulated thread [tid]'s PRNG state
+    during an active run (0 otherwise). Liveness fingerprints include it
+    so consuming randomness never looks like a repeated state. *)
+
 val rand_int : int -> int
 (** Uniform draw from the calling thread's deterministic generator, or
     from the ambient generator outside a simulation. *)

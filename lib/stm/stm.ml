@@ -52,7 +52,8 @@ module Make (R : Runtime.S) = struct
   let make value =
     {
       st = R.Atomic.make { value; version = 0; locked = false };
-      id = Stdlib.Atomic.fetch_and_add next_id 1; (* lint: allow *)
+      (* lint: allow — id allocation is setup, outside the simulated heap *)
+      id = Stdlib.Atomic.fetch_and_add next_id 1;
     }
 
   (** [read tx tv] — transactional read, with read-own-writes. *)

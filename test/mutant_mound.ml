@@ -176,6 +176,8 @@ let make_pq () : Harness.Pq.t =
     extract_many =
       (fun () ->
         match On_sim.extract_min q with None -> [] | Some v -> [ v ]);
+    extract_approx = (fun () -> On_sim.extract_min q);
     size = (fun () -> On_sim.size q);
     check = (fun () -> On_sim.check q);
+    ops = (fun () -> None);
   }

@@ -27,8 +27,10 @@ let pq_of ~name ~insert ~extract_min cell : Harness.Pq.t =
     extract_min;
     extract_many =
       (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
+    extract_approx = extract_min;
     size = (fun () -> List.length (A.get cell));
     check = (fun () -> true);
+    ops = (fun () -> None);
   }
 
 let make_racy () : Harness.Pq.t =

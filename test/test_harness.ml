@@ -36,8 +36,10 @@ let run_thread_counts_ops () =
       insert = S.insert q;
       extract_min = (fun () -> S.extract_min q);
       extract_many = (fun () -> S.extract_many q);
+      extract_approx = (fun () -> S.extract_min q);
       size = (fun () -> S.size q);
       check = (fun () -> S.check q);
+      ops = (fun () -> None);
     }
   in
   let rng = Prng.create 1L in

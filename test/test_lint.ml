@@ -85,9 +85,128 @@ let test_waivers () =
            let d = Domain.self ()\n"));
   (* a file waiver does not suppress format findings *)
   let fs =
-    scan "lib/core/x.ml" "(* lint: allow-file *)\nlet x = 1 \n"
+    scan "lib/core/x.ml"
+      "(* lint: allow-file — bench driver owns the clock *)\n\
+       let t = Unix.gettimeofday () \n"
   in
   Alcotest.(check (list string)) "format survives" [ "format" ] (rules fs)
+
+let test_waiver_hygiene () =
+  (* a waiver must carry a reason *)
+  let fs =
+    scan "lib/core/x.ml" "(* lint: allow *)\nlet x = Stdlib.Atomic.make 0\n"
+  in
+  Alcotest.(check (list string)) "reasonless waiver" [ "waiver" ] (rules fs);
+  (* a waiver must cover a live finding *)
+  let fs =
+    scan "lib/core/x.ml"
+      "(* lint: allow — plenty of justification *)\nlet x = 1\n"
+  in
+  Alcotest.(check (list string)) "stale waiver" [ "waiver" ] (rules fs);
+  (* reasoned and live: silent *)
+  check_count "reasoned live waiver" 0
+    (scan "lib/core/x.ml"
+       "(* lint: allow — setup-only id source *)\n\
+        let x = Stdlib.Atomic.make 0\n");
+  (* reasonless file waiver *)
+  let fs =
+    scan "lib/core/x.ml"
+      "(* lint: allow-file *)\nlet x = Stdlib.Atomic.make 0\n"
+  in
+  Alcotest.(check (list string)) "reasonless file waiver" [ "waiver" ]
+    (rules fs);
+  (* stale file waiver: nothing in the file to waive *)
+  let fs =
+    scan "lib/core/x.ml"
+      "(* lint: allow-file — driver owns its domains *)\nlet x = 1\n"
+  in
+  Alcotest.(check (list string)) "stale file waiver" [ "waiver" ] (rules fs);
+  (* the marker must lead the comment; prose mentioning it is inert *)
+  let fs =
+    scan "lib/core/x.ml"
+      "(* see the lint: allow marker in the docs *)\n\
+       let x = Stdlib.Atomic.make 0\n"
+  in
+  Alcotest.(check (list string)) "mid-comment marker inert" [ "boundary" ]
+    (rules fs)
+
+(* ---- helping-discipline rules ------------------------------------------ *)
+
+let test_retry_no_backoff () =
+  (* bodies indented 4: chunks split at indentation <= 2, the margin of
+     a module body, exactly like the shipped sources *)
+  let bare =
+    "let rec push q v =\n\
+    \    let cur = R.Atomic.get q in\n\
+    \    if not (M.cas q cur (v :: cur)) then push q v\n"
+  in
+  Alcotest.(check (list string)) "bare retry flagged" [ "retry-no-backoff" ]
+    (rules (scan "lib/core/x.ml" bare));
+  let with_backoff =
+    "let rec push q b v =\n\
+    \    let cur = R.Atomic.get q in\n\
+    \    if not (M.cas q cur (v :: cur)) then begin\n\
+    \      B.exponential b;\n\
+    \      push q b v\n\
+    \    end\n"
+  in
+  check_count "backoff silences" 0 (scan "lib/core/x.ml" with_backoff);
+  let with_help =
+    "let rec push q v =\n\
+    \    let cur = R.Atomic.get q in\n\
+    \    if not (M.cas q cur (v :: cur)) then begin\n\
+    \      help_complete q;\n\
+    \      push q v\n\
+    \    end\n"
+  in
+  check_count "helping silences" 0 (scan "lib/core/x.ml" with_help);
+  (* non-recursive chunks are not retry loops *)
+  check_count "straight-line cas fine" 0
+    (scan "lib/core/x.ml" "let push q v =\n  if M.cas q [] [ v ] then 1 else 0\n");
+  (* baselines reproduce published loops; helping rules do not apply *)
+  check_count "baselines exempt" 0 (scan "lib/baselines/x.ml" bare)
+
+let test_dirty_spin () =
+  let spin =
+    "let rec pull q =\n\
+    \    let n = M.get q in\n\
+    \    if n.dirty then pull q\n\
+    \    else (n, B.exponential ())\n"
+  in
+  Alcotest.(check (list string)) "dirty re-test flagged" [ "dirty-spin" ]
+    (rules (scan "lib/core/x.ml" spin));
+  let helps =
+    "let rec pull q =\n\
+    \    let n = M.get q in\n\
+    \    if n.dirty then (moundify q 1; pull q)\n\
+    \    else n\n"
+  in
+  check_count "helping silences" 0 (scan "lib/core/x.ml" helps);
+  (* [dirty = cur.dirty] in a record copy is not a test *)
+  let copy =
+    "let rec pull q =\n\
+    \    let cur = M.get q in\n\
+    \    ignore { list = cur.list; dirty = cur.dirty };\n\
+    \    pull q\n"
+  in
+  Alcotest.(check bool) "record copy not a dirty test" false
+    (List.mem "dirty-spin" (rules (scan "lib/core/x.ml" copy)))
+
+let test_cas_discard () =
+  Alcotest.(check (list string)) "ignore'd cas" [ "cas-discard" ]
+    (rules (scan "lib/core/x.ml" "let reset q =\n  ignore (M.cas q 0 1)\n"));
+  Alcotest.(check (list string)) "statement-position cas" [ "cas-discard" ]
+    (rules
+       (scan "lib/core/x.ml" "let f q r =\n  r := 1;\n  M.cas q 0 1\n"));
+  check_count "branched-on cas fine" 0
+    (scan "lib/core/x.ml" "let f q = if M.cas q 0 1 then 1 else 0\n");
+  (* record labels and counter fields named [cas] are not calls *)
+  check_count "field assignment fine" 0
+    (scan "lib/core/x.ml" "let reset c =\n  c.cas <- 0\n");
+  check_count "record label fine" 0
+    (scan "lib/core/x.ml" "let snap c = { gets = c.gets; cas = c.cas }\n");
+  check_count "type field fine" 0
+    (scan "lib/core/x.ml" "type t = { gets : int; cas : int }\n")
 
 let test_functor_constraint_idiom () =
   check_count "with type 'a Atomic.t" 0
@@ -160,8 +279,15 @@ let () =
           Alcotest.test_case "comments and strings stripped" `Quick
             test_comments_and_strings;
           Alcotest.test_case "waivers" `Quick test_waivers;
+          Alcotest.test_case "waiver hygiene" `Quick test_waiver_hygiene;
           Alcotest.test_case "functor constraint idiom" `Quick
             test_functor_constraint_idiom;
+        ] );
+      ( "helping",
+        [
+          Alcotest.test_case "retry-no-backoff" `Quick test_retry_no_backoff;
+          Alcotest.test_case "dirty-spin" `Quick test_dirty_spin;
+          Alcotest.test_case "cas-discard" `Quick test_cas_discard;
         ] );
       ( "mutable-atomic",
         [ Alcotest.test_case "heuristic" `Quick test_mutable_atomic ] );
