@@ -4,6 +4,7 @@
     repro table1|table2|table3|table4      # sequential structure tables
     repro fig2 [--panel P] [--machine M] [--quick] [--extended]
     repro real [--panel P] [--threads N]   # wall-clock run on real domains
+    repro bench [--quick] [--out DIR]      # BENCH_<panel>.json artifacts
     repro chaos [--seed S] [--full]        # crash-stop + fault-injection sweep
     repro dpor [PROGRAM] [--schedule S]    # DPOR model checking / replay
     repro progress [PROGRAM] [--quick]     # liveness certification / replay
@@ -158,9 +159,9 @@ let run_real panel threads quick =
         (fun (s : Harness.Real_exp.series) ->
           Format.fprintf ppf "%-18s" s.structure;
           List.iter
-            (fun (p : Harness.Real_exp.point) ->
-              Format.fprintf ppf "%10.0f" (p.throughput /. 1000.))
-            s.points;
+            (fun (c : Harness.Real_exp.cell) ->
+              Format.fprintf ppf "%10.0f" (c.summary.median /. 1000.))
+            s.cells;
           Format.fprintf ppf "@.")
         series)
     panels;
@@ -170,6 +171,108 @@ let real_cmd =
   let doc = "Run the Fig. 2 workloads on real OCaml domains (wall clock)." in
   Cmd.v (Cmd.info "real" ~doc)
     Term.(const run_real $ panel_arg $ threads_arg $ quick_flag)
+
+(* ---------- wall-clock benchmark artifacts ---------- *)
+
+let bench_panel_tag (panel : Harness.Workload.panel) =
+  match panel with
+  | Insert -> "insert"
+  | Extract -> "extract"
+  | Mixed -> "mixed"
+  | Extract_many -> "extractmany"
+
+let run_bench panel threads trials warmup quick out =
+  let seed = 7L in
+  let ops = if quick then 1 lsl 12 else 1 lsl 15 in
+  let trials =
+    match trials with Some n -> n | None -> if quick then 3 else 5
+  in
+  let warmup = Option.value warmup ~default:1 in
+  let max_t =
+    match threads with
+    | Some n -> n
+    | None -> max 2 (Domain.recommended_domain_count ())
+  in
+  let thread_counts =
+    let base = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+    List.filter (fun t -> t <= max_t) base |> fun l ->
+    if l = [] then [ 1 ] else l
+  in
+  let panels =
+    match panel with
+    | Some p -> [ p ]
+    | None -> Harness.Workload.[ Insert; Extract; Mixed ]
+  in
+  List.iter
+    (fun panel ->
+      let init_size =
+        Harness.Fig2.init_size_for Harness.Fig2.quick_scale panel
+      in
+      let run tc maker =
+        Harness.Real_exp.run_series ~seed ~warmup ~trials ~panel
+          ~thread_counts:tc ~ops_per_thread:ops ~init_size maker
+      in
+      (* the sequential oracle is not thread-safe: 1-thread reference row *)
+      let series =
+        run [ 1 ] Harness.Pq.seq
+        :: List.map (run thread_counts)
+             [ Harness.Pq.On_real.mound_lf; Harness.Pq.On_real.mound_lock ]
+      in
+      let tag = bench_panel_tag panel in
+      let doc =
+        Harness.Bench_json.of_panel ~panel:tag ~seed ~warmup
+          ~measured_trials:trials ~ops_per_thread:ops ~init_size series
+      in
+      (match Harness.Bench_json.validate doc with
+      | Ok () -> ()
+      | Error e -> failwith (Printf.sprintf "BENCH_%s.json invalid: %s" tag e));
+      let path = Filename.concat out (Printf.sprintf "BENCH_%s.json" tag) in
+      Harness.Bench_json.write_file path (Harness.Bench_json.to_string doc);
+      Format.fprintf ppf "@.[bench] %s -> %s@." tag path;
+      Format.fprintf ppf "%-18s %7s %14s %14s@." "structure" "threads"
+        "median ktps" "stddev ktps";
+      List.iter
+        (fun (s : Harness.Real_exp.series) ->
+          List.iter
+            (fun (c : Harness.Real_exp.cell) ->
+              Format.fprintf ppf "%-18s %7d %14.1f %14.1f@." s.structure
+                c.threads
+                (c.summary.median /. 1000.)
+                (c.summary.stddev /. 1000.))
+            s.cells)
+        series)
+    panels;
+  Format.pp_print_flush ppf ()
+
+let trials_arg =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "trials" ] ~docv:"N"
+        ~doc:"Measured trials per cell (default: 3 with --quick, else 5).")
+
+let warmup_arg =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "warmup" ] ~docv:"N"
+        ~doc:"Discarded warmup trials per cell (default: 1).")
+
+let out_arg =
+  Arg.(
+    value & opt dir "."
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:"Directory receiving the BENCH_<panel>.json artifacts.")
+
+let bench_cmd =
+  let doc =
+    "Record wall-clock benchmark artifacts (BENCH_<panel>.json) for the \
+     seq/LF/lock mounds with a warmup + multi-trial protocol."
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(
+      const run_bench $ panel_arg $ threads_arg $ trials_arg $ warmup_arg
+      $ quick_flag $ out_arg)
 
 (* ---------- ablations & extensions ---------- *)
 
@@ -624,6 +727,6 @@ let () =
        (Cmd.group info
           [
             table_cmd 1; table_cmd 2; table_cmd 3; table_cmd 4; fig2_cmd;
-            real_cmd; ablation_cmd; lin_cmd; chaos_cmd; dpor_cmd;
+            real_cmd; bench_cmd; ablation_cmd; lin_cmd; chaos_cmd; dpor_cmd;
             progress_cmd; shape_cmd; all_cmd;
           ]))

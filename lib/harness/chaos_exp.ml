@@ -260,6 +260,7 @@ let make_lf () =
     {
       name = "Mound (LF)";
       insert = Lf.insert q;
+      insert_many = (fun b -> Lf.insert_many q (List.sort compare b));
       extract_min = (fun () -> Lf.extract_min q);
       extract_many = (fun () -> Lf.extract_many q);
       extract_approx = (fun () -> Lf.extract_approx q);
@@ -283,6 +284,7 @@ let make_lock () =
     {
       name = "Mound (Lock)";
       insert = Lock.insert q;
+      insert_many = (fun b -> Lock.insert_many q (List.sort compare b));
       extract_min = (fun () -> Lock.extract_min q);
       extract_many = (fun () -> Lock.extract_many q);
       extract_approx = (fun () -> Lock.extract_approx q);

@@ -27,6 +27,7 @@ module Pq = Pq
 module Workload = Workload
 module Sim_exp = Sim_exp
 module Real_exp = Real_exp
+module Bench_json = Bench_json
 module Tables = Tables
 module Fig2 = Fig2
 module Ablation = Ablation

@@ -9,6 +9,9 @@
 type t = {
   name : string;
   insert : int -> unit;
+  insert_many : int list -> unit;
+      (** batched insert; the handle sorts the batch, structures without
+          a native batched path degrade to element-wise [insert] *)
   extract_min : unit -> int option;
   extract_many : unit -> int list;
       (** structures without a native extract-many degrade to a singleton
@@ -39,6 +42,8 @@ module Of_runtime (R : Runtime.S) = struct
           {
             name = "Mound (Lock)";
             insert = Lock.insert q;
+            insert_many =
+              (fun b -> Lock.insert_many q (List.sort compare b));
             extract_min = (fun () -> Lock.extract_min q);
             extract_many = (fun () -> Lock.extract_many q);
             extract_approx = (fun () -> Lock.extract_approx q);
@@ -56,6 +61,8 @@ module Of_runtime (R : Runtime.S) = struct
           {
             name = "Mound (LF)";
             insert = Lf.insert q;
+            insert_many =
+              (fun b -> Lf.insert_many q (List.sort compare b));
             extract_min = (fun () -> Lf.extract_min q);
             extract_many = (fun () -> Lf.extract_many q);
             extract_approx = (fun () -> Lf.extract_approx q);
@@ -74,6 +81,7 @@ module Of_runtime (R : Runtime.S) = struct
           {
             name = "Hunt Heap (Lock)";
             insert = Hunt.insert q;
+            insert_many = List.iter (Hunt.insert q);
             extract_min;
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
@@ -93,6 +101,7 @@ module Of_runtime (R : Runtime.S) = struct
           {
             name = "Skip List (QC)";
             insert = Sl.insert q;
+            insert_many = List.iter (Sl.insert q);
             extract_min;
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
@@ -114,6 +123,7 @@ module Of_runtime (R : Runtime.S) = struct
           {
             name = "Skip List (Lock)";
             insert = Sl_lock.insert q;
+            insert_many = List.iter (Sl_lock.insert q);
             extract_min;
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
@@ -135,6 +145,7 @@ module Of_runtime (R : Runtime.S) = struct
           {
             name = "STM Heap";
             insert = Stm_h.insert q;
+            insert_many = List.iter (Stm_h.insert q);
             extract_min;
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
@@ -154,6 +165,7 @@ module Of_runtime (R : Runtime.S) = struct
           {
             name = "Coarse Heap";
             insert = Coarse.insert q;
+            insert_many = List.iter (Coarse.insert q);
             extract_min;
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
@@ -171,6 +183,28 @@ module Of_runtime (R : Runtime.S) = struct
       ablations. *)
   let extended_set = paper_set @ [ coarse; stm_heap; skiplist_lock ]
 end
+
+(** The sequential mound oracle behind the uniform handle. NOT
+    thread-safe — the benchmark pipeline runs it only at one thread, as
+    the single-thread reference row. *)
+let seq =
+  {
+    make =
+      (fun ~capacity:_ ->
+        let module S = Mound.Seq_int in
+        let q = S.create () in
+        {
+          name = "Mound (Seq)";
+          insert = S.insert q;
+          insert_many = (fun b -> S.insert_many q (List.sort compare b));
+          extract_min = (fun () -> S.extract_min q);
+          extract_many = (fun () -> S.extract_many q);
+          extract_approx = (fun () -> S.extract_approx q);
+          size = (fun () -> S.size q);
+          check = (fun () -> S.check q);
+          ops = (fun () -> None);
+        });
+  }
 
 module On_real = Of_runtime (Runtime.Real)
 module On_sim = Of_runtime (Sim.Runtime)

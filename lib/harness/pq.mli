@@ -5,6 +5,9 @@
 type t = {
   name : string;  (** display name, matching the paper's Fig. 2 legend *)
   insert : int -> unit;
+  insert_many : int list -> unit;
+      (** batched insert; the handle sorts the batch, structures without
+          a native batched path degrade to element-wise [insert] *)
   extract_min : unit -> int option;
   extract_many : unit -> int list;
       (** structures without a native extract-many degrade to a singleton
@@ -40,6 +43,11 @@ module Of_runtime (_ : Runtime.S) : sig
   (** [paper_set] plus the coarse-lock, STM-heap and lock-based-skiplist
       ablations. *)
 end
+
+val seq : maker
+(** The sequential mound oracle behind the uniform handle. NOT
+    thread-safe — benchmark pipelines must run it only at one thread
+    (single-thread reference row). *)
 
 (** On real OCaml domains. *)
 module On_real : module type of Of_runtime (Runtime.Real)

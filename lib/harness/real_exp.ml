@@ -1,17 +1,58 @@
 (* lint: allow-file — this module IS the real-hardware driver: it spawns
    domains and reads the wall clock by design. *)
 
-(** Fig. 2 experiment driver on real OCaml domains.
+(** Wall-clock experiment driver on real OCaml domains.
 
     Same workloads as {!Sim_exp}, measured in wall-clock time with a
-    barrier-synchronized start. On the reproduction container (a single
-    CPU core) these numbers demonstrate correctness under true preemptive
-    concurrency and give single-thread baselines; the scalability shapes
-    come from the simulator (see DESIGN.md §3). *)
+    barrier-synchronized start and a disciplined trial protocol: every
+    cell (structure × panel × thread count) runs [warmup] discarded
+    trials followed by [trials] measured ones, each against a freshly
+    built queue, and reports median / min / max / stddev throughput plus
+    per-thread timing so start-skew is visible in the output.
 
-type point = { threads : int; throughput : float; seconds : float; ops : int }
+    Timing protocol: the main thread reads the clock {e before} joining
+    the start barrier, so no worker operation can land outside the timed
+    window; each domain additionally records its own start and stop
+    stamps (relative to that origin) after it clears the barrier. A
+    trial's span is origin → last worker stop.
 
-type series = { structure : string; points : point list }
+    On the reproduction container (a single CPU core) the multi-thread
+    numbers demonstrate correctness under true preemptive concurrency;
+    the 1-thread panels are the meaningful performance signal and feed
+    the benchmark baselines in [BENCH_*.json] (see {!Bench_json}). *)
+
+type thread_point = {
+  tid : int;
+  start_s : float;  (** seconds after the trial's clock origin *)
+  stop_s : float;
+  ops : int;
+}
+
+type trial = {
+  seconds : float;  (** clock origin (pre-barrier) → last worker stop *)
+  ops : int;
+  throughput : float;  (** elements per second, wall clock *)
+  skew_s : float;  (** latest worker start − earliest worker start *)
+  thread_points : thread_point list;
+}
+
+type summary = {
+  median : float;
+  tp_min : float;
+  tp_max : float;
+  stddev : float;
+}
+
+type cell = {
+  threads : int;
+  warmup : int;
+  trials : trial list;  (** measured trials only, in run order *)
+  summary : summary;
+  counters : Mound.Stats.Ops.t option;
+      (** dynamic progress counters from the last measured trial *)
+}
+
+type series = { structure : string; cells : cell list }
 
 let populate (q : Pq.t) n ~seed =
   let rng = Prng.create (Int64.add seed 17L) in
@@ -19,7 +60,9 @@ let populate (q : Pq.t) n ~seed =
     q.insert (Prng.int rng Workload.key_range)
   done
 
-let run_cell ?(seed = 7L) ~panel ~threads ~ops_per_thread ~init_size
+(** One timed run against a fresh queue. Returns the trial and the
+    queue's op counters (captured at quiescence). *)
+let run_trial ?(seed = 7L) ~panel ~threads ~ops_per_thread ~init_size
     (maker : Pq.maker) =
   let q =
     maker.make
@@ -32,42 +75,111 @@ let run_cell ?(seed = 7L) ~panel ~threads ~ops_per_thread ~init_size
   | Mixed | Extract_many -> populate q init_size ~seed);
   let barrier = Barrier.create (threads + 1) in
   let counts = Array.make threads 0 in
+  let starts = Array.make threads 0. in
+  let stops = Array.make threads 0. in
   let domains =
     Array.init threads (fun tid ->
         Domain.spawn (fun () ->
             let rng = Prng.for_thread ~seed ~id:tid in
             Barrier.wait barrier;
+            starts.(tid) <- Unix.gettimeofday ();
             counts.(tid) <-
               Workload.run_thread ~panel ~q
                 ~rand:(fun b -> Prng.int rng b)
-                ~ops:ops_per_thread ()))
+                ~ops:ops_per_thread ();
+            stops.(tid) <- Unix.gettimeofday ()))
   in
-  Barrier.wait barrier;
+  (* Clock origin is taken before the barrier opens: early worker
+     operations cannot land outside the timed window. *)
   let t0 = Unix.gettimeofday () in
+  Barrier.wait barrier;
   Array.iter Domain.join domains;
-  let seconds = Unix.gettimeofday () -. t0 in
+  let last_stop = Array.fold_left max neg_infinity stops in
+  let seconds = last_stop -. t0 in
   let ops = Array.fold_left ( + ) 0 counts in
+  let first_start = Array.fold_left min infinity starts in
+  let last_start = Array.fold_left max neg_infinity starts in
+  let thread_points =
+    List.init threads (fun tid ->
+        {
+          tid;
+          start_s = starts.(tid) -. t0;
+          stop_s = stops.(tid) -. t0;
+          ops = counts.(tid);
+        })
+  in
+  ( {
+      seconds;
+      ops;
+      throughput = (if seconds > 0. then float_of_int ops /. seconds else 0.);
+      skew_s = last_start -. first_start;
+      thread_points;
+    },
+    q.ops () )
+
+let summarize trials =
+  let tps = List.map (fun t -> t.throughput) trials in
+  let sorted = List.sort compare tps in
+  let n = List.length sorted in
+  let median =
+    if n = 0 then 0.
+    else if n mod 2 = 1 then List.nth sorted (n / 2)
+    else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+  in
+  let tp_min = match sorted with [] -> 0. | x :: _ -> x in
+  let tp_max = List.fold_left max 0. sorted in
+  let mean = List.fold_left ( +. ) 0. tps /. float_of_int (max 1 n) in
+  let var =
+    List.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. tps
+    /. float_of_int (max 1 n)
+  in
+  { median; tp_min; tp_max; stddev = sqrt var }
+
+(** [run_cell] — [warmup] discarded trials, then [trials] measured ones,
+    each on a fresh queue with a distinct derived seed. *)
+let run_cell ?(seed = 7L) ?(warmup = 1) ?(trials = 3) ~panel ~threads
+    ~ops_per_thread ~init_size (maker : Pq.maker) =
+  let trial_seed i = Int64.add seed (Int64.of_int (1000 * i)) in
+  for i = 1 to warmup do
+    ignore
+      (run_trial ~seed:(trial_seed (-i)) ~panel ~threads ~ops_per_thread
+         ~init_size maker)
+  done;
+  let counters = ref None in
+  let measured =
+    List.init trials (fun i ->
+        let t, ops =
+          run_trial ~seed:(trial_seed i) ~panel ~threads ~ops_per_thread
+            ~init_size maker
+        in
+        counters := ops;
+        t)
+  in
   {
     threads;
-    throughput = (if seconds > 0. then float_of_int ops /. seconds else 0.);
-    seconds;
-    ops;
+    warmup;
+    trials = measured;
+    summary = summarize measured;
+    counters = !counters;
   }
 
-let run_series ?seed ~panel ~thread_counts ~ops_per_thread ~init_size
-    (maker : Pq.maker) =
+let run_series ?seed ?warmup ?trials ~panel ~thread_counts ~ops_per_thread
+    ~init_size (maker : Pq.maker) =
   let name = (maker.make ~capacity:16).name in
   {
     structure = name;
-    points =
+    cells =
       List.map
         (fun threads ->
-          run_cell ?seed ~panel ~threads ~ops_per_thread ~init_size maker)
+          run_cell ?seed ?warmup ?trials ~panel ~threads ~ops_per_thread
+            ~init_size maker)
         thread_counts;
   }
 
-let run_panel ?seed ~panel ~thread_counts ~ops_per_thread ~init_size makers =
+let run_panel ?seed ?warmup ?trials ~panel ~thread_counts ~ops_per_thread
+    ~init_size makers =
   List.map
     (fun m ->
-      run_series ?seed ~panel ~thread_counts ~ops_per_thread ~init_size m)
+      run_series ?seed ?warmup ?trials ~panel ~thread_counts ~ops_per_thread
+        ~init_size m)
     makers

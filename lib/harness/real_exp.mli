@@ -1,29 +1,75 @@
-(** Fig. 2 experiment driver on real OCaml domains: the same workloads as
-    {!Sim_exp}, measured in wall-clock time with a barrier-synchronized
-    start. On a single-core host the curves demonstrate correctness under
-    true preemption and provide single-thread baselines; scalability
-    shapes come from the simulator (DESIGN.md §3). *)
+(** Wall-clock experiment driver on real OCaml domains: the same
+    workloads as {!Sim_exp}, measured with a barrier-synchronized start
+    and a multi-trial protocol (warmup trials discarded, [trials]
+    measured trials per cell, median / min / max / stddev reported).
+    The clock origin is read before the start barrier opens and each
+    domain records its own start/stop stamps, so per-thread skew is
+    visible in the results. On a single-core host the curves demonstrate
+    correctness under true preemption and provide single-thread
+    baselines; scalability shapes come from the simulator
+    (DESIGN.md §3). *)
 
-type point = {
-  threads : int;
-  throughput : float;  (** operations per second, wall clock *)
-  seconds : float;
+type thread_point = {
+  tid : int;
+  start_s : float;  (** seconds after the trial's clock origin *)
+  stop_s : float;
   ops : int;
 }
 
-type series = { structure : string; points : point list }
+type trial = {
+  seconds : float;  (** clock origin (pre-barrier) → last worker stop *)
+  ops : int;
+  throughput : float;  (** elements per second, wall clock *)
+  skew_s : float;  (** latest worker start − earliest worker start *)
+  thread_points : thread_point list;
+}
 
-val run_cell :
+type summary = {
+  median : float;
+  tp_min : float;
+  tp_max : float;
+  stddev : float;
+}
+
+type cell = {
+  threads : int;
+  warmup : int;
+  trials : trial list;  (** measured trials only, in run order *)
+  summary : summary;
+  counters : Mound.Stats.Ops.t option;
+      (** dynamic progress counters from the last measured trial *)
+}
+
+type series = { structure : string; cells : cell list }
+
+val run_trial :
   ?seed:int64 ->
   panel:Workload.panel ->
   threads:int ->
   ops_per_thread:int ->
   init_size:int ->
   Pq.maker ->
-  point
+  trial * Mound.Stats.Ops.t option
+(** One timed run against a fresh queue; the counters are captured at
+    quiescence after the run. *)
+
+val run_cell :
+  ?seed:int64 ->
+  ?warmup:int ->
+  ?trials:int ->
+  panel:Workload.panel ->
+  threads:int ->
+  ops_per_thread:int ->
+  init_size:int ->
+  Pq.maker ->
+  cell
+(** [warmup] (default 1) discarded trials, then [trials] (default 3)
+    measured ones, each on a fresh queue with a distinct derived seed. *)
 
 val run_series :
   ?seed:int64 ->
+  ?warmup:int ->
+  ?trials:int ->
   panel:Workload.panel ->
   thread_counts:int list ->
   ops_per_thread:int ->
@@ -33,6 +79,8 @@ val run_series :
 
 val run_panel :
   ?seed:int64 ->
+  ?warmup:int ->
+  ?trials:int ->
   panel:Workload.panel ->
   thread_counts:int list ->
   ops_per_thread:int ->

@@ -172,6 +172,7 @@ let make_pq () : Harness.Pq.t =
   {
     name = "Mutant Mound (LF, dirty check dropped)";
     insert = On_sim.insert q;
+    insert_many = (fun b -> List.iter (On_sim.insert q) b);
     extract_min = (fun () -> On_sim.extract_min q);
     extract_many =
       (fun () ->

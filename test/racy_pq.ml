@@ -24,6 +24,7 @@ let pq_of ~name ~insert ~extract_min cell : Harness.Pq.t =
   {
     name;
     insert;
+    insert_many = (fun b -> List.iter insert b);
     extract_min;
     extract_many =
       (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);

@@ -34,6 +34,7 @@ let run_thread_counts_ops () =
     {
       Harness.Pq.name = "seq";
       insert = S.insert q;
+      insert_many = (fun b -> S.insert_many q (List.sort compare b));
       extract_min = (fun () -> S.extract_min q);
       extract_many = (fun () -> S.extract_many q);
       extract_approx = (fun () -> S.extract_min q);
@@ -118,12 +119,27 @@ let sim_determinism () =
 (* --- real experiment driver --- *)
 
 let real_cell_smoke () =
-  let p =
-    Harness.Real_exp.run_cell ~panel:Mixed ~threads:2 ~ops_per_thread:500
-      ~init_size:100 Harness.Pq.On_real.mound_lock
+  let c =
+    Harness.Real_exp.run_cell ~warmup:1 ~trials:3 ~panel:Mixed ~threads:2
+      ~ops_per_thread:500 ~init_size:100 Harness.Pq.On_real.mound_lock
   in
-  check_int "ops counted" 1000 p.ops;
-  check "throughput positive" true (p.throughput > 0.)
+  check_int "measured trials" 3 (List.length c.trials);
+  List.iter
+    (fun (t : Harness.Real_exp.trial) ->
+      check_int "ops counted" 1000 t.ops;
+      check_int "thread points" 2 (List.length t.thread_points);
+      check "throughput positive" true (t.throughput > 0.);
+      check "skew non-negative" true (t.skew_s >= 0.);
+      List.iter
+        (fun (p : Harness.Real_exp.thread_point) ->
+          (* per-domain stamps land inside the trial's timed window *)
+          check "start after origin" true (p.start_s >= 0.);
+          check "stop after start" true (p.stop_s >= p.start_s))
+        t.thread_points)
+    c.trials;
+  check "median positive" true (c.summary.median > 0.);
+  check "min <= median" true (c.summary.tp_min <= c.summary.median);
+  check "median <= max" true (c.summary.median <= c.summary.tp_max)
 
 (* --- tables at reduced scale --- *)
 
