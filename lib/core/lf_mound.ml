@@ -52,8 +52,11 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   (* ----- moundify: restore the mound property at a dirty node ----- *)
 
-  let rec moundify t n =
-    let slot = T.get t.tree n in
+  (* [level] must be ⌊log₂ n⌋: the traversal always knows it (the root
+     is level 0, children are one deeper), so node slots are fetched
+     with [get_at] instead of recomputing the level on every access. *)
+  let rec moundify t n ~level =
+    let slot = T.get_at t.tree ~level n in
     let node = M.get slot in
     let d = T.depth t.tree in
     if not node.dirty then () (* helped by someone else — L36 *)
@@ -62,22 +65,23 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
       if
         M.cas slot node { list = node.list; dirty = false; seq = node.seq + 1 }
       then ()
-      else moundify t n
+      else moundify t n ~level
     end
     else begin
-      let lslot = T.get t.tree (2 * n) and rslot = T.get t.tree ((2 * n) + 1) in
+      let lslot = T.get_at t.tree ~level:(level + 1) (2 * n)
+      and rslot = T.get_at t.tree ~level:(level + 1) ((2 * n) + 1) in
       let left = M.get lslot in
       let right = M.get rslot in
       if left.dirty then begin
         (* dirtied by another operation: helping (L41–L44) *)
         t.ops.helps <- t.ops.helps + 1;
-        moundify t (2 * n);
-        moundify t n
+        moundify t (2 * n) ~level:(level + 1);
+        moundify t n ~level
       end
       else if right.dirty then begin
         t.ops.helps <- t.ops.helps + 1;
-        moundify t ((2 * n) + 1);
-        moundify t n
+        moundify t ((2 * n) + 1) ~level:(level + 1);
+        moundify t n ~level
       end
       else begin
         let vn = node_value node
@@ -91,8 +95,8 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
               { list = left.list; dirty = false; seq = node.seq + 1 }
               lslot left
               { list = node.list; dirty = true; seq = left.seq + 1 }
-          then moundify t (2 * n)
-          else moundify t n
+          then moundify t (2 * n) ~level:(level + 1)
+          else moundify t n ~level
         end
         else if vcompare vr vl < 0 && vcompare vr vn < 0 then begin
           if
@@ -100,8 +104,8 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
               { list = right.list; dirty = false; seq = node.seq + 1 }
               rslot right
               { list = node.list; dirty = true; seq = right.seq + 1 }
-          then moundify t ((2 * n) + 1)
-          else moundify t n
+          then moundify t ((2 * n) + 1) ~level:(level + 1)
+          else moundify t n ~level
         end
         else begin
           (* L56–L58: the node already dominates both children. *)
@@ -109,10 +113,31 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
             M.cas slot node
               { list = node.list; dirty = false; seq = node.seq + 1 }
           then ()
-          else moundify t n
+          else moundify t n ~level
         end
       end
     end
+
+  (* ----- spurious-failure-tolerant publication ----- *)
+
+  (* Under the chaos runtime a weak CAS can fail with the location
+     observably unchanged. Re-attempting with the same fresh record
+     costs nothing; re-probing the tree and re-allocating the record
+     would. Both loops exit at the first real change (physical
+     inequality), so on the default runtimes they never iterate. *)
+
+  (* lint: allow — retries only while the location is observably
+     unchanged, i.e. on spurious weak-CAS failure; a real change exits *)
+  let rec cas_reusing slot cur fresh =
+    M.cas slot cur fresh
+    || (M.get slot == cur && cas_reusing slot cur fresh)
+
+  (* lint: allow — same spurious-failure-only retry as cas_reusing *)
+  let rec dcss_reusing pslot parent cslot cur fresh =
+    M.dcss pslot parent cslot cur fresh
+    || M.get cslot == cur
+       && M.get pslot == parent
+       && dcss_reusing pslot parent cslot cur fresh
 
   (* ----- insert ----- *)
 
@@ -127,63 +152,68 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
      leaf does not dominate [v], the tree grows a level; a fresh leaf is
      empty (⊤), so this loop always produces a candidate without further
      randomization. *)
-  let rec fallback_point t ~ge =
+  let rec fallback_point_lv t ~ge =
     let d = T.depth t.tree in
     let leaf = 1 lsl (d - 1) in
-    if ge leaf then T.binary_search ~ge leaf d
+    if ge leaf then T.binary_search_lv ~ge leaf d
     else begin
       T.expand t.tree d;
-      fallback_point t ~ge
+      fallback_point_lv t ~ge
     end
 
-  let rec insert_attempt t v round =
-    let ge i = Intf.Value.ge_elt Ord.compare (node_value (read t i)) v in
-    let c =
-      if round < max_insert_rounds then T.find_insert_point t.tree ~ge
+  (* [ge] is built once per [insert] call and threaded through the retry
+     loop — the candidate-validation predicate does not change across
+     attempts, so there is no reason to allocate a fresh closure on
+     every retry. *)
+  let rec insert_attempt t v ~ge round =
+    let c, clvl =
+      if round < max_insert_rounds then T.find_insert_point_lv t.tree ~ge
       else begin
         if round = max_insert_rounds then begin
           t.ops.root_fallbacks <- t.ops.root_fallbacks + 1;
           (* a full round budget burned without landing the insert *)
           t.ops.livelock_near_misses <- t.ops.livelock_near_misses + 1
         end;
-        fallback_point t ~ge
+        fallback_point_lv t ~ge
       end
     in
-    let cslot = T.get t.tree c in
+    let cslot = T.get_at t.tree ~level:clvl c in
     let cur = M.get cslot in
     (* Double-check the candidate (L7): probing was unsynchronized. *)
     if Intf.Value.ge_elt Ord.compare (node_value cur) v then begin
       let fresh = { list = v :: cur.list; dirty = cur.dirty; seq = cur.seq + 1 } in
       if c = 1 then begin
         (* Root insert linearizes with a plain CAS (L9–L10). *)
-        if not (M.cas cslot cur fresh) then insert_retry t v round
+        if not (cas_reusing cslot cur fresh) then insert_retry t v ~ge round
       end
       else begin
-        let pslot = T.get t.tree (c / 2) in
+        let pslot = T.get_at t.tree ~level:(clvl - 1) (c / 2) in
         let parent = M.get pslot in
         if Intf.Value.le_elt Ord.compare (node_value parent) v then begin
           (* DCSS: write the child only if the parent is unchanged
              (L12–L14). *)
-          if not (M.dcss pslot parent cslot cur fresh) then
-            insert_retry t v round
+          if not (dcss_reusing pslot parent cslot cur fresh) then
+            insert_retry t v ~ge round
         end
-        else insert_retry t v round
+        else insert_retry t v ~ge round
       end
     end
-    else insert_retry t v round
+    else insert_retry t v ~ge round
 
   (* A first failure retries immediately (benign race, exactly the
      paper's loop); sustained failure backs off exponentially so
      contending inserters spread out instead of re-colliding. *)
-  and insert_retry t v round =
+  and insert_retry t v ~ge round =
     t.ops.insert_retries <- t.ops.insert_retries + 1;
     if round > 0 then begin
       t.ops.insert_backoffs <- t.ops.insert_backoffs + 1;
       B.exponential ~cap_bits:6 (round - 1)
     end;
-    insert_attempt t v (round + 1)
+    insert_attempt t v ~ge (round + 1)
 
-  let insert t v = insert_attempt t v 0
+  let insert t v =
+    let ge i = Intf.Value.ge_elt Ord.compare (node_value (read t i)) v in
+    insert_attempt t v ~ge 0
 
   (** Alternative insert for the ablation study: the paper's §III-D opens
       with "the simplest technique for making insert lock-free is to use a
@@ -225,53 +255,75 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
       in
       if not (M.casn ops) then insert_kcss t v
 
-  (** Insert a {e sorted} batch with a single CAS/DCSS where possible —
-      the dual of [extract_many], for returning unconsumed work to the
-      pool. The splice at node [c] needs [val(parent c) <= hd batch] and
-      [last batch <= val(c)]; after a few failed attempts (wide batches
-      rarely fit one node) the elements are inserted individually. *)
-  (* lint: allow — the retry is bounded (four attempts), then falls
-     back to per-element [insert], which carries the backoff *)
+  (* Longest prefix of the sorted [batch] whose elements fit under
+     [limit] (the candidate node's value; [None] is ⊤, keeping the whole
+     batch), paired with the remainder. Shared shape with the other two
+     variants. *)
+  let rec split_prefix limit acc = function
+    | x :: rest when Intf.Value.ge_elt Ord.compare limit x ->
+        split_prefix limit (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+
+  (* Attempts per run before conceding the head to element-wise
+     [insert] (which carries the backoff) and resuming batching. *)
+  let batch_tries = 4
+
+  (** Insert a {e sorted} batch — the dual of [extract_many], for
+      returning unconsumed work to the pool. The batch is walked front
+      to back: each round finds the insert point for the current head
+      once, then splices the longest prefix that fits that node
+      ([val(parent c) <= hd] and every spliced element [<= val(c)]) in a
+      single CAS/DCSS — probing and binary search are amortized over the
+      whole run instead of paid per element. Under contention the head
+      falls back to the element-wise [insert] and batching resumes with
+      the remainder. *)
   let insert_many t batch =
-    match batch with
-    | [] -> ()
-    | hd :: _ ->
-        let rec last = function
-          | [ x ] -> x
-          | _ :: rest -> last rest
-          | [] -> assert false
-        in
-        let lst = last batch in
-        let rec attempt tries =
-          if tries = 0 then List.iter (insert t) batch
+    let rec go batch tries =
+      match batch with
+      | [] -> ()
+      | hd :: rest_after_hd ->
+          if tries = 0 then begin
+            insert t hd;
+            go rest_after_hd batch_tries
+          end
           else begin
             let ge i =
-              Intf.Value.ge_elt Ord.compare (node_value (read t i)) lst
+              Intf.Value.ge_elt Ord.compare (node_value (read t i)) hd
             in
-            let c = T.find_insert_point t.tree ~ge in
-            let cslot = T.get t.tree c in
+            let c, clvl = T.find_insert_point_lv t.tree ~ge in
+            let cslot = T.get_at t.tree ~level:clvl c in
             let cur = M.get cslot in
-            if Intf.Value.ge_elt Ord.compare (node_value cur) lst then begin
+            let limit = node_value cur in
+            (* Double-check the candidate: probing was unsynchronized. *)
+            if Intf.Value.ge_elt Ord.compare limit hd then begin
+              let prefix, rest = split_prefix limit [] batch in
               let fresh =
-                { list = batch @ cur.list; dirty = cur.dirty; seq = cur.seq + 1 }
+                {
+                  list = prefix @ cur.list;
+                  dirty = cur.dirty;
+                  seq = cur.seq + 1;
+                }
               in
               if c = 1 then begin
-                if not (M.cas cslot cur fresh) then attempt (tries - 1)
+                if cas_reusing cslot cur fresh then go rest batch_tries
+                else go batch (tries - 1)
               end
               else begin
-                let pslot = T.get t.tree (c / 2) in
+                let pslot = T.get_at t.tree ~level:(clvl - 1) (c / 2) in
                 let parent = M.get pslot in
-                if Intf.Value.le_elt Ord.compare (node_value parent) hd then begin
-                  if not (M.dcss pslot parent cslot cur fresh) then
-                    attempt (tries - 1)
+                if Intf.Value.le_elt Ord.compare (node_value parent) hd
+                then begin
+                  if dcss_reusing pslot parent cslot cur fresh then
+                    go rest batch_tries
+                  else go batch (tries - 1)
                 end
-                else attempt (tries - 1)
+                else go batch (tries - 1)
               end
             end
-            else attempt (tries - 1)
+            else go batch (tries - 1)
           end
-        in
-        attempt 4
+    in
+    go batch batch_tries
 
   (* ----- extraction ----- *)
 
@@ -286,21 +338,23 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   let rec extract_min_spin t spin =
     bump_near_miss t spin;
-    let slot = T.get t.tree 1 in
+    let slot = T.get_at t.tree ~level:0 1 in
     let root = M.get slot in
     if root.dirty then begin
       (* An extraction is mid-flight; help restore the property (L24–L26). *)
       t.ops.helps <- t.ops.helps + 1;
-      moundify t 1;
+      moundify t 1 ~level:0;
       extract_min_spin t (spin + 1)
     end
     else
       match root.list with
       | [] -> None (* L27: linearizes at the root READ *)
       | hd :: tl ->
-          if M.cas slot root { list = tl; dirty = true; seq = root.seq + 1 }
+          if
+            cas_reusing slot root
+              { list = tl; dirty = true; seq = root.seq + 1 }
           then begin
-            moundify t 1;
+            moundify t 1 ~level:0;
             Some hd
           end
           else begin
@@ -315,20 +369,22 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
       than beheaded. *)
   let rec extract_many_spin t spin =
     bump_near_miss t spin;
-    let slot = T.get t.tree 1 in
+    let slot = T.get_at t.tree ~level:0 1 in
     let root = M.get slot in
     if root.dirty then begin
       t.ops.helps <- t.ops.helps + 1;
-      moundify t 1;
+      moundify t 1 ~level:0;
       extract_many_spin t (spin + 1)
     end
     else
       match root.list with
       | [] -> []
       | taken ->
-          if M.cas slot root { list = []; dirty = true; seq = root.seq + 1 }
+          if
+            cas_reusing slot root
+              { list = []; dirty = true; seq = root.seq + 1 }
           then begin
-            moundify t 1;
+            moundify t 1 ~level:0;
             taken
           end
           else begin
@@ -351,13 +407,14 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
     let n = 1 + R.rand_int span in
     if n = 1 then extract_min t
     else
-      let slot = T.get t.tree n in
+      let nlvl = T.level_of n in
+      let slot = T.get_at t.tree ~level:nlvl n in
       let rec attempt tries =
         if tries = 0 then extract_min t
         else
           let node = M.get slot in
           if node.dirty then begin
-            moundify t n;
+            moundify t n ~level:nlvl;
             attempt (tries - 1)
           end
           else
@@ -368,7 +425,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
                   M.cas slot node
                     { list = tl; dirty = true; seq = node.seq + 1 }
                 then begin
-                  moundify t n;
+                  moundify t n ~level:nlvl;
                   Some hd
                 end
                 else attempt (tries - 1)
@@ -379,7 +436,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
     let root = read t 1 in
     if root.dirty then begin
       t.ops.helps <- t.ops.helps + 1;
-      moundify t 1;
+      moundify t 1 ~level:0;
       peek_min t
     end
     else node_value root

@@ -64,15 +64,19 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   let unlock slot list = R.Atomic.set slot { list; locked = false }
 
-  (* Precondition: the caller holds the lock on [n], whose current list is
-     [nlist]. Restores the mound property below [n] and releases every
-     lock it takes, including [n]'s (paper F14–F35). *)
-  let rec moundify t n nlist =
-    let slot = T.get t.tree n in
+  (* Precondition: the caller holds the lock on [n], whose current list
+     is [nlist], and [level] is ⌊log₂ n⌋ — the traversal always knows it
+     (the root is level 0, children one deeper), so slots are fetched
+     with [get_at] instead of recomputing the level per access. Restores
+     the mound property below [n] and releases every lock it takes,
+     including [n]'s (paper F14–F35). *)
+  let rec moundify t n ~level nlist =
+    let slot = T.get_at t.tree ~level n in
     let d = T.depth t.tree in
     if T.is_leaf n ~depth:d then unlock slot nlist
     else begin
-      let lslot = T.get t.tree (2 * n) and rslot = T.get t.tree ((2 * n) + 1) in
+      let lslot = T.get_at t.tree ~level:(level + 1) (2 * n)
+      and rslot = T.get_at t.tree ~level:(level + 1) ((2 * n) + 1) in
       let left = set_lock t lslot in
       let right = set_lock t rslot in
       let vn = match nlist with [] -> None | x :: _ -> Some x
@@ -84,13 +88,13 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
         (* The left child keeps our old list and stays locked while we
            recurse into it — hand-over-hand. *)
         R.Atomic.set lslot { list = nlist; locked = true };
-        moundify t (2 * n) nlist
+        moundify t (2 * n) ~level:(level + 1) nlist
       end
       else if vcompare vr vl < 0 && vcompare vr vn < 0 then begin
         unlock lslot left.list;
         unlock slot right.list;
         R.Atomic.set rslot { list = nlist; locked = true };
-        moundify t ((2 * n) + 1) nlist
+        moundify t ((2 * n) + 1) ~level:(level + 1) nlist
       end
       else begin
         unlock slot nlist;
@@ -100,7 +104,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
     end
 
   let extract_min t =
-    let slot = T.get t.tree 1 in
+    let slot = T.get_at t.tree ~level:0 1 in
     let root = set_lock t slot in
     match root.list with
     | [] ->
@@ -110,13 +114,13 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
         (* Remove the head, keep the root locked, and let moundify release
            it (F9–F12). *)
         R.Atomic.set slot { list = tl; locked = true };
-        moundify t 1 tl;
+        moundify t 1 ~level:0 tl;
         Some hd
 
   (** Take the root's entire list (§V): identical protocol with the list
       emptied instead of beheaded. *)
   let extract_many t =
-    let slot = T.get t.tree 1 in
+    let slot = T.get_at t.tree ~level:0 1 in
     let root = set_lock t slot in
     match root.list with
     | [] ->
@@ -124,7 +128,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
         []
     | taken ->
         R.Atomic.set slot { list = []; locked = true };
-        moundify t 1 [];
+        moundify t 1 ~level:0 [];
         taken
 
   (** Probabilistic extract-min (§V): lock a random node within the first
@@ -136,7 +140,8 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
     let lvl = min max_level (d - 1) in
     let span = (1 lsl (lvl + 1)) - 1 in
     let n = 1 + R.rand_int span in
-    let slot = T.get t.tree n in
+    let nlvl = T.level_of n in
+    let slot = T.get_at t.tree ~level:nlvl n in
     let node = set_lock t slot in
     match node.list with
     | [] ->
@@ -144,15 +149,15 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
         extract_min t
     | hd :: tl ->
         R.Atomic.set slot { list = tl; locked = true };
-        moundify t n tl;
+        moundify t n ~level:nlvl tl;
         Some hd
 
-  let rec insert t v =
-    let ge i =
-      Intf.Value.ge_elt Ord.compare (node_value (R.Atomic.get (T.get t.tree i))) v
-    in
-    let c = T.find_insert_point t.tree ~ge in
-    let cslot = T.get t.tree c in
+  (* [ge] is built once per [insert] call and reused across retries —
+     the validation predicate does not change, so no fresh closure per
+     attempt. *)
+  let rec insert_attempt t v ~ge =
+    let c, clvl = T.find_insert_point_lv t.tree ~ge in
+    let cslot = T.get_at t.tree ~level:clvl c in
     if c = 1 then begin
       let root = set_lock t cslot in
       if Intf.Value.ge_elt Ord.compare (node_value root) v then
@@ -160,12 +165,12 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
       else begin
         unlock cslot root.list;
         t.ops.insert_retries <- t.ops.insert_retries + 1;
-        insert t v
+        insert_attempt t v ~ge
       end
     end
     else begin
       (* Parent before child, matching moundify's order (F45–F46). *)
-      let pslot = T.get t.tree (c / 2) in
+      let pslot = T.get_at t.tree ~level:(clvl - 1) (c / 2) in
       let parent = set_lock t pslot in
       let child = set_lock t cslot in
       if
@@ -179,66 +184,89 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
         unlock pslot parent.list;
         unlock cslot child.list;
         t.ops.insert_retries <- t.ops.insert_retries + 1;
-        insert t v
+        insert_attempt t v ~ge
       end
     end
 
-  (** Insert a {e sorted} batch under one lock pair where possible — the
-      dual of [extract_many]. The splice at node [c] needs
-      [val(parent c) <= hd batch] and [last batch <= val(c)]; after a few
-      failed attempts the elements are inserted individually. *)
+  let insert t v =
+    let ge i =
+      Intf.Value.ge_elt Ord.compare (node_value (R.Atomic.get (T.get t.tree i))) v
+    in
+    insert_attempt t v ~ge
+
+  (* Longest prefix of the sorted batch fitting under [limit] ([None] is
+     ⊤), paired with the remainder — same shape as the other variants. *)
+  let rec split_prefix limit acc = function
+    | x :: rest when Intf.Value.ge_elt Ord.compare limit x ->
+        split_prefix limit (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+
+  let batch_tries = 4
+
+  (** Insert a {e sorted} batch — the dual of [extract_many]. The batch
+      is walked front to back: each round finds the insert point for the
+      current head once, then splices the longest prefix that fits that
+      node ([val(parent c) <= hd] and every spliced element [<= val(c)])
+      under one lock pair — probing and binary search are amortized over
+      the whole run instead of paid per element. Under contention the
+      head falls back to the element-wise [insert] and batching resumes
+      with the remainder. *)
   let insert_many t batch =
-    match batch with
-    | [] -> ()
-    | hd :: _ ->
-        let rec last = function
-          | [ x ] -> x
-          | _ :: rest -> last rest
-          | [] -> assert false
-        in
-        let lst = last batch in
-        let rec attempt tries =
-          if tries = 0 then List.iter (insert t) batch
+    let rec go batch tries =
+      match batch with
+      | [] -> ()
+      | hd :: rest_after_hd ->
+          if tries = 0 then begin
+            insert t hd;
+            go rest_after_hd batch_tries
+          end
           else begin
             let ge i =
               Intf.Value.ge_elt Ord.compare
                 (node_value (R.Atomic.get (T.get t.tree i)))
-                lst
+                hd
             in
-            let c = T.find_insert_point t.tree ~ge in
-            let cslot = T.get t.tree c in
+            let c, clvl = T.find_insert_point_lv t.tree ~ge in
+            let cslot = T.get_at t.tree ~level:clvl c in
             if c = 1 then begin
               let root = set_lock t cslot in
-              if Intf.Value.ge_elt Ord.compare (node_value root) lst then
-                unlock cslot (batch @ root.list)
+              let limit = node_value root in
+              if Intf.Value.ge_elt Ord.compare limit hd then begin
+                let prefix, rest = split_prefix limit [] batch in
+                unlock cslot (prefix @ root.list);
+                go rest batch_tries
+              end
               else begin
                 unlock cslot root.list;
-                attempt (tries - 1)
+                go batch (tries - 1)
               end
             end
             else begin
-              let pslot = T.get t.tree (c / 2) in
+              let pslot = T.get_at t.tree ~level:(clvl - 1) (c / 2) in
               let parent = set_lock t pslot in
               let child = set_lock t cslot in
+              let limit = node_value child in
               if
-                Intf.Value.ge_elt Ord.compare (node_value child) lst
+                Intf.Value.ge_elt Ord.compare limit hd
                 && Intf.Value.le_elt Ord.compare (node_value parent) hd
               then begin
-                unlock cslot (batch @ child.list);
-                unlock pslot parent.list
+                let prefix, rest = split_prefix limit [] batch in
+                unlock cslot (prefix @ child.list);
+                unlock pslot parent.list;
+                go rest batch_tries
               end
               else begin
                 unlock pslot parent.list;
                 unlock cslot child.list;
-                attempt (tries - 1)
+                go batch (tries - 1)
               end
             end
           end
-        in
-        attempt 4
+    in
+    go batch batch_tries
 
   let peek_min t =
-    let slot = T.get t.tree 1 in
+    let slot = T.get_at t.tree ~level:0 1 in
     let root = set_lock t slot in
     unlock slot root.list;
     node_value root

@@ -35,19 +35,20 @@ module Make (Ord : Intf.ORDERED) = struct
 
   let insert t v =
     let ge i = Intf.Value.ge_elt Ord.compare (value_at t i) v in
-    let c = T.find_insert_point t.tree ~ge in
-    let node = T.get t.tree c in
+    let c, clvl = T.find_insert_point_lv t.tree ~ge in
+    let node = T.get_at t.tree ~level:clvl c in
     node.list <- v :: node.list
 
   (* Restore the mound property below node [n] by swapping lists with the
      smaller child until the node dominates both children — the
-     sequential skeleton of the paper's moundify. *)
-  let rec moundify t n =
+     sequential skeleton of the paper's moundify. [level] is ⌊log₂ n⌋,
+     threaded down so child slots are fetched without recomputing it. *)
+  let rec moundify t n ~level =
     let d = T.depth t.tree in
     if not (T.is_leaf n ~depth:d) then begin
-      let node = T.get t.tree n in
-      let left = T.get t.tree (2 * n) in
-      let right = T.get t.tree ((2 * n) + 1) in
+      let node = T.get_at t.tree ~level n in
+      let left = T.get_at t.tree ~level:(level + 1) (2 * n) in
+      let right = T.get_at t.tree ~level:(level + 1) ((2 * n) + 1) in
       let vn = node_value node
       and vl = node_value left
       and vr = node_value right in
@@ -55,59 +56,63 @@ module Make (Ord : Intf.ORDERED) = struct
         let tmp = node.list in
         node.list <- left.list;
         left.list <- tmp;
-        moundify t (2 * n)
+        moundify t (2 * n) ~level:(level + 1)
       end
       else if vcompare vr vl < 0 && vcompare vr vn < 0 then begin
         let tmp = node.list in
         node.list <- right.list;
         right.list <- tmp;
-        moundify t ((2 * n) + 1)
+        moundify t ((2 * n) + 1) ~level:(level + 1)
       end
     end
 
   let extract_min t =
-    let root = T.get t.tree 1 in
+    let root = T.get_at t.tree ~level:0 1 in
     match root.list with
     | [] -> None
     | hd :: tl ->
         root.list <- tl;
-        moundify t 1;
+        moundify t 1 ~level:0;
         Some hd
 
-  (** Insert a {e sorted} batch in one write where possible: the dual of
-      [extract_many], useful for returning unconsumed work to the pool.
-      A batch [b] can be spliced in front of a node [c]'s list whenever
-      [val(parent c) <= hd b] and [last b <= val(c)]; when the randomized
-      probing cannot find such a node (wide batches), the tail elements
-      fall back to element-wise insertion. *)
+  (* Longest prefix of the sorted batch fitting under [limit] ([None] is
+     ⊤), paired with the remainder — same shape as the concurrent
+     variants. *)
+  let rec split_prefix limit acc = function
+    | x :: rest when Intf.Value.ge_elt Ord.compare limit x ->
+        split_prefix limit (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+
+  (** Insert a {e sorted} batch: the dual of [extract_many], useful for
+      returning unconsumed work to the pool. The batch is walked front
+      to back; each round finds the insert point for the current head
+      once and splices the longest prefix that fits that node in one
+      write, amortizing probing and binary search over runs of keys that
+      share an insertion point. No validation or fallback is needed
+      sequentially: [find_insert_point] guarantees [val(parent) < hd],
+      and the prefix is bounded by [val(c)] by construction. *)
   let insert_many t batch =
-    match batch with
-    | [] -> ()
-    | hd :: _ ->
-        let rec last = function
-          | [ x ] -> x
-          | _ :: rest -> last rest
-          | [] -> assert false
-        in
-        let lst = last batch in
-        let ge i = Intf.Value.ge_elt Ord.compare (value_at t i) lst in
-        let c = T.find_insert_point t.tree ~ge in
-        let node = T.get t.tree c in
-        let parent_ok =
-          c = 1 || Intf.Value.le_elt Ord.compare (value_at t (c / 2)) hd
-        in
-        if parent_ok then node.list <- batch @ node.list
-        else List.iter (insert t) batch
+    let rec go = function
+      | [] -> ()
+      | hd :: _ as batch ->
+          let ge i = Intf.Value.ge_elt Ord.compare (value_at t i) hd in
+          let c, clvl = T.find_insert_point_lv t.tree ~ge in
+          let node = T.get_at t.tree ~level:clvl c in
+          let prefix, rest = split_prefix (node_value node) [] batch in
+          node.list <- prefix @ node.list;
+          go rest
+    in
+    go batch
 
   (** Take the root's entire sorted list in one operation (§V of the
       paper). *)
   let extract_many t =
-    let root = T.get t.tree 1 in
+    let root = T.get_at t.tree ~level:0 1 in
     match root.list with
     | [] -> []
     | taken ->
         root.list <- [];
-        moundify t 1;
+        moundify t 1 ~level:0;
         taken
 
   (** Extract from a random non-empty node within the first [max_level+1]
@@ -119,15 +124,16 @@ module Make (Ord : Intf.ORDERED) = struct
     let lvl = min max_level (d - 1) in
     let span = (1 lsl (lvl + 1)) - 1 in
     let n = 1 + Prng.int t.rng span in
-    let node = T.get t.tree n in
+    let nlvl = T.level_of n in
+    let node = T.get_at t.tree ~level:nlvl n in
     match node.list with
     | [] -> extract_min t
     | hd :: tl ->
         node.list <- tl;
-        moundify t n;
+        moundify t n ~level:nlvl;
         Some hd
 
-  let peek_min t = node_value (T.get t.tree 1)
+  let peek_min t = node_value (T.get_at t.tree ~level:0 1)
 
   let is_empty t = peek_min t = None
 

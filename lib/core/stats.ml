@@ -76,13 +76,9 @@ type t = { levels : level array; depth : int }
     [iter f] must call [f index list] for every allocated node. *)
 let compute ~iter ~to_float () =
   let acc : (int, level) Hashtbl.t = Hashtbl.create 32 in
-  let level_of i =
-    let rec go l v = if v <= 1 then l else go (l + 1) (v lsr 1) in
-    go 0 i
-  in
   let max_level = ref 0 in
   iter (fun i list ->
-      let l = level_of i in
+      let l = Tree.level_of i in
       if l > !max_level then max_level := l;
       let cur =
         match Hashtbl.find_opt acc l with

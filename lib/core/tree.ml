@@ -16,10 +16,54 @@
     and sequential variants — it performs only reads plus the
     depth-expansion CAS. *)
 
+(** ⌊log₂ i⌋ in constant time by binary decomposition of the shift
+    distance (6 branches on 63-bit ints, vs. one branch per bit for the
+    naive shift loop). Requires [i >= 1]; shared by the functor below
+    and by {!Stats}. *)
+let level_of i =
+  let l = ref 0 and v = ref i in
+  if !v lsr 32 <> 0 then begin
+    l := !l + 32;
+    v := !v lsr 32
+  end;
+  if !v lsr 16 <> 0 then begin
+    l := !l + 16;
+    v := !v lsr 16
+  end;
+  if !v lsr 8 <> 0 then begin
+    l := !l + 8;
+    v := !v lsr 8
+  end;
+  if !v lsr 4 <> 0 then begin
+    l := !l + 4;
+    v := !v lsr 4
+  end;
+  if !v lsr 2 <> 0 then begin
+    l := !l + 2;
+    v := !v lsr 2
+  end;
+  if !v lsr 1 <> 0 then incr l;
+  !l
+
 module Make (R : Runtime.S) = struct
   (* 2^30 nodes at the deepest level is already beyond feasible memory;
      the cap exists to bound the rows table, not as a realistic limit. *)
   let max_levels = 30
+
+  let level_of = level_of
+
+  (* Every traversal starts at the root, so the slots of the first few
+     levels are the hottest words in the structure. Their rows are
+     pre-published by [create] (7 slots — negligible memory) with live
+     pad blocks interleaved between consecutive slot allocations, so
+     sibling atomics do not start out on the same cache line. Best
+     effort under a moving collector, but the pads are reachable from
+     the tree record, which keeps the spacing from collapsing at the
+     first minor collection. *)
+  let hot_levels = 3
+
+  (* 64-byte line on 64-bit, minus the block header word *)
+  let pad_words = 7
 
   type 'slot t = {
     rows : 'slot array option R.Atomic.t array;
@@ -27,98 +71,142 @@ module Make (R : Runtime.S) = struct
     make_slot : unit -> 'slot;
     threshold : int;
     rand : int -> int;  (* thread-safe source of random leaf offsets *)
+    row_allocs : int R.Atomic.t;
+        (* full rows allocated by [expand]; exceeds the number of
+           published rows only when racing expanders both allocate *)
+    pads : int array list;  (* keeps the hot-level padding live *)
   }
-
-  let level_of i =
-    let rec go l v = if v <= 1 then l else go (l + 1) (v lsr 1) in
-    go 0 i
 
   let create ?(threshold = Intf.default_threshold) ?(init_depth = 1)
       ?(rand = R.rand_int) make_slot =
     if init_depth < 1 || init_depth > max_levels then
       invalid_arg "Mound.Tree.create: bad initial depth";
     if threshold < 1 then invalid_arg "Mound.Tree.create: bad threshold";
+    let pads = ref [] in
+    let make_padded () =
+      let s = make_slot () in
+      pads := Array.make pad_words 0 :: !pads;
+      s
+    in
+    let prealloc = max init_depth hot_levels in
     let rows =
       Array.init max_levels (fun l ->
-          if l < init_depth then
-            R.Atomic.make (Some (Array.init (1 lsl l) (fun _ -> make_slot ())))
+          if l < prealloc then
+            R.Atomic.make
+              (Some
+                 (Array.init (1 lsl l) (fun _ ->
+                      if l < hot_levels then make_padded () else make_slot ())))
           else R.Atomic.make None)
     in
-    { rows; depth = R.Atomic.make init_depth; make_slot; threshold; rand }
+    {
+      rows;
+      depth = R.Atomic.make init_depth;
+      make_slot;
+      threshold;
+      rand;
+      row_allocs = R.Atomic.make 0;
+      pads = !pads;
+    }
 
   let depth t = R.Atomic.get t.depth
 
-  (** [get t i] is the slot of node [i] (1-based). The row must have been
-      published, which holds for any index derived from a read of
-      [depth]. *)
-  let get t i =
-    let l = level_of i in
-    match R.Atomic.get t.rows.(l) with
-    | Some row -> row.(i - (1 lsl l))
+  (** Full-row allocations performed by {!expand} since creation (the
+      pre-published hot rows are not counted). With the allocation
+      hoisted behind the publish loop, a single-threaded expansion —
+      even under spurious weak-CAS failures — allocates each row exactly
+      once; concurrent expanders can still each allocate, but only one
+      allocation per level is ever published. *)
+  let row_allocations t = R.Atomic.get t.row_allocs
+
+  (** [get_at t ~level i] is the slot of node [i] (1-based) when
+      [level_of i] is already known from the traversal, skipping the
+      recomputation. The row must have been published, which holds for
+      any index derived from a read of [depth]. *)
+  let get_at t ~level i =
+    match R.Atomic.get t.rows.(level) with
+    | Some row -> row.(i - (1 lsl level))
     | None -> invalid_arg "Mound.Tree.get: unallocated level"
 
+  let get t i = get_at t ~level:(level_of i) i
+
   (* Publish row [d] (the new leaf level) if needed, then try to advance
-     the depth. The publish loops until the row is observably [Some]:
-     under weak-CAS semantics (the chaos runtime's spurious failures) a
-     failed CAS does not imply another thread published the row, and
-     advancing [depth] past an unpublished row would make [get] fail.
-     The depth CAS needs no such loop — callers re-read [depth] and call
-     [expand] again if it has not moved. *)
-  (* lint: allow — publish retries only on spurious weak-CAS failure
-     and exits as soon as any thread's row is visible; no backoff *)
+     the depth. The row is allocated at most once per call, before the
+     publish loop: a spurious weak-CAS failure (the chaos runtime)
+     retries the publish with the same row instead of re-allocating, and
+     a caller that observes another thread's row allocates nothing. The
+     publish loops until the row is observably [Some] — advancing
+     [depth] past an unpublished row would make [get] fail. The depth
+     CAS needs no such loop: callers re-read [depth] and call [expand]
+     again if it has not moved. *)
+  (* lint: allow — the inner publish loop retries only on spurious
+     weak-CAS failure and exits as soon as any thread's row is visible *)
   let expand t d =
     if d >= max_levels then failwith "Mound.Tree.expand: tree is full";
-    let row = lazy (Array.init (1 lsl d) (fun _ -> t.make_slot ())) in
-    let rec publish () =
-      match R.Atomic.get t.rows.(d) with
-      | Some _ -> ()
-      | None ->
-          (* lint: allow — idempotent publish; the loop re-reads the row *)
-          ignore (R.Atomic.compare_and_set t.rows.(d) None (Some (Lazy.force row)));
-          publish ()
-    in
-    publish ();
+    (match R.Atomic.get t.rows.(d) with
+    | Some _ -> ()
+    | None ->
+        let row = Some (Array.init (1 lsl d) (fun _ -> t.make_slot ())) in
+        ignore (R.Atomic.fetch_and_add t.row_allocs 1);
+        let rec publish () =
+          match R.Atomic.get t.rows.(d) with
+          | Some _ -> ()
+          | None ->
+              (* lint: allow — idempotent publish; the loop re-reads the row *)
+              ignore (R.Atomic.compare_and_set t.rows.(d) None row);
+              publish ()
+        in
+        publish ());
     (* lint: allow — depth advance is optional; callers re-read and retry *)
     ignore (R.Atomic.compare_and_set t.depth d (d + 1))
+
+  (* Probe up to [k] random leaves of a [first_leaf]-based leaf row for
+     one satisfying [ge]; returns 0 when none does. Explicit-parameter
+     recursion — unlike an inner closure, no environment is allocated
+     per call on the insert hot path. *)
+  let rec probe_leaves ~ge rand first_leaf k =
+    if k = 0 then 0
+    else
+      let leaf = first_leaf + rand first_leaf in
+      if ge leaf then leaf else probe_leaves ~ge rand first_leaf (k - 1)
 
   (* Binary search along the ancestor chain of [leaf] (depth [d] levels)
      for the shallowest node whose value dominates [v] — O(log log N)
      probes since the chain has length ⌊log₂ N⌋. Precondition: [ge] holds
      at the leaf itself. Under concurrency the chain may momentarily not
-     be sorted; the caller re-validates before writing. *)
-  let binary_search ~ge leaf d =
+     be sorted; the caller re-validates before writing. The final [lo]
+     is the level of the returned node, so callers get it for free. *)
+  let binary_search_lv ~ge leaf d =
     let lo = ref 0 and hi = ref (d - 1) in
     while !lo < !hi do
       let mid = (!lo + !hi) / 2 in
       if ge (leaf lsr (d - 1 - mid)) then hi := mid else lo := mid + 1
     done;
-    leaf lsr (d - 1 - !lo)
+    (leaf lsr (d - 1 - !lo), !lo)
 
-  (** [find_insert_point t ~ge] probes up to [t.threshold] random leaves
-      for one whose value dominates the element being inserted ([ge i]
-      must be [val(node i) >= v]), then binary-searches its ancestor chain
-      for the candidate insertion point. If every probe fails, the tree is
-      one level too shallow for this element and is expanded. *)
-  let rec find_insert_point t ~ge =
+  let binary_search ~ge leaf d = fst (binary_search_lv ~ge leaf d)
+
+  (** [find_insert_point_lv t ~ge] probes up to [t.threshold] random
+      leaves for one whose value dominates the element being inserted
+      ([ge i] must be [val(node i) >= v]), then binary-searches its
+      ancestor chain for the candidate insertion point, returned with
+      its level. If every probe fails, the tree is one level too shallow
+      for this element and is expanded. *)
+  let rec find_insert_point_lv t ~ge =
     let d = R.Atomic.get t.depth in
     let first_leaf = 1 lsl (d - 1) in
-    let rec attempts k =
-      if k = 0 then None
-      else
-        let leaf = first_leaf + t.rand first_leaf in
-        if ge leaf then Some leaf else attempts (k - 1)
-    in
-    match attempts t.threshold with
-    | Some leaf -> binary_search ~ge leaf d
-    | None ->
+    match probe_leaves ~ge t.rand first_leaf t.threshold with
+    | 0 ->
         expand t d;
-        find_insert_point t ~ge
+        find_insert_point_lv t ~ge
+    | leaf -> binary_search_lv ~ge leaf d
+
+  let find_insert_point t ~ge = fst (find_insert_point_lv t ~ge)
 
   (** [is_leaf t i ~depth:d] — is [i] on the deepest level of a tree of
       depth [d]? *)
   let is_leaf i ~depth:d = i land (1 lsl (d - 1)) <> 0 && i < 1 lsl d
 
-  (** Quiescent fold over all allocated slots in index order, with the
+  (** Quiescent fold over all reachable slots in index order, with the
       node index. Not linearizable; meant for statistics and tests. *)
   let fold t f acc =
     let d = R.Atomic.get t.depth in

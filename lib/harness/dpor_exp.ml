@@ -14,7 +14,12 @@
     Shared by [test_dpor] and the [repro dpor] subcommand. *)
 
 type script =
-  [ `Insert of int | `Extract | `Extract_many | `Extract_approx ] list
+  [ `Insert of int
+  | `Insert_many of int list
+  | `Extract
+  | `Extract_many
+  | `Extract_approx ]
+  list
 
 (** Build a {!Check.program} over any priority queue. [lin:false]
     downgrades the oracle to invariant + conservation (for quiescently
@@ -43,9 +48,10 @@ let pq_program ~name ~(make : unit -> Pq.t) ?(prepopulate = [])
         let inserted =
           prepopulate
           @ List.concat_map
-              (List.filter_map (function
-                | `Insert v -> Some v
-                | _ -> None))
+              (List.concat_map (function
+                | `Insert v -> [ v ]
+                | `Insert_many b -> b
+                | _ -> []))
               scripts
         in
         let extracted =
@@ -125,6 +131,30 @@ let many ~name ~lin (maker : Pq.maker) =
     ~prepopulate:[ 2 ] ~lin
     [ [ `Insert 1; `Extract_many ]; [ `Insert 3 ] ]
 
+(* Batched insert racing a plain insert, followed by the inserting
+   thread's own extract. [insert_many] splices one node prefix per
+   CAS/lock pair, so it is only atomic as a whole when no concurrent
+   extract can observe the gap between splices; here the sole extract is
+   program-ordered after the batch completes, which makes the atomic
+   [Lin.Ins_many] spec sound while still exploring every interleaving of
+   the splices with the racing insert's validation. *)
+let batch ~name ~lin (maker : Pq.maker) =
+  pq_program ~name
+    ~make:(fun () -> maker.Pq.make ~capacity:64)
+    ~prepopulate:[ 2 ] ~lin
+    [ [ `Insert_many [ 1; 4 ]; `Extract ]; [ `Insert 3 ] ]
+
+(* Batch/extract-many round trip with an extract racing the batch. The
+   batch [1; 1] is bounded by the prepopulated root key 2, so the whole
+   batch lands in a single splice (one CAS / one lock pair) — genuinely
+   atomic, so the racing extract cannot observe a partial batch and the
+   atomic spec is exact. *)
+let batch_roundtrip ~name ~lin (maker : Pq.maker) =
+  pq_program ~name
+    ~make:(fun () -> maker.Pq.make ~capacity:64)
+    ~prepopulate:[ 2 ] ~lin
+    [ [ `Insert_many [ 1; 1 ]; `Extract_many ]; [ `Extract ] ]
+
 (* extract-approx probes a random shallow node, so its return value is
    only quiescently meaningful — conservation oracle only (lin:false). *)
 let approx ~name (maker : Pq.maker) =
@@ -140,6 +170,11 @@ let catalog : (string * Check.program) list =
     ("lf-mound-many", many ~name:"lf-mound-many" ~lin:true Pq.On_sim.mound_lf);
     ( "lock-mound-many",
       many ~name:"lock-mound-many" ~lin:true Pq.On_sim.mound_lock );
+    ("lf-mound-batch", batch ~name:"lf-mound-batch" ~lin:true Pq.On_sim.mound_lf);
+    ( "lock-mound-batch",
+      batch ~name:"lock-mound-batch" ~lin:true Pq.On_sim.mound_lock );
+    ( "lf-mound-batch-rt",
+      batch_roundtrip ~name:"lf-mound-batch-rt" ~lin:true Pq.On_sim.mound_lf );
     ("lf-mound-approx", approx ~name:"lf-mound-approx" Pq.On_sim.mound_lf);
     ("stm-heap", standard ~name:"stm-heap" ~lin:true Pq.On_sim.stm_heap);
     ("skiplist", standard ~name:"skiplist" ~lin:false Pq.On_sim.skiplist);

@@ -9,7 +9,11 @@
     tractable in practice (the model state is a function of that set,
     because each extract's return value is fixed by the history). *)
 
-type op = Ins of int | Ext of int option | Ext_many of int list
+type op =
+  | Ins of int
+  | Ins_many of int list
+  | Ext of int option
+  | Ext_many of int list
 
 type event = { inv : int; resp : int; op : op }
 
@@ -29,6 +33,9 @@ let recorder ?(now = Sim.Sched.now) (q : Pq.t) script =
           | `Insert v ->
               q.insert v;
               Ins v
+          | `Insert_many b ->
+              q.insert_many b;
+              Ins_many b
           | `Extract -> Ext (q.extract_min ())
           | `Extract_many -> Ext_many (q.extract_many ())
           | `Extract_approx -> Ext (q.extract_approx ())
@@ -72,6 +79,10 @@ let check ?(init = []) events =
   in
   let apply model = function
     | Ins v -> Some (insert_sorted v model)
+    | Ins_many b ->
+        (* a batched insert is atomic at its linearization point: the
+           whole multiset lands at once *)
+        Some (List.fold_left (fun m v -> insert_sorted v m) model b)
     | Ext None -> if model = [] then Some [] else None
     | Ext (Some v) -> (
         match model with m :: rest when m = v -> Some rest | _ -> None)

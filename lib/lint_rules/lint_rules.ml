@@ -20,6 +20,14 @@
       an identifier containing [help], [moundify] or [complete] marks a
       helping call; one containing [backoff], [exponential] or
       [cpu_relax] marks backoff;
+    - allocation inside a CAS retry loop (rule [alloc-in-retry]): in a
+      recursive chunk that performs a CAS, an [Array.make]/[Array.init],
+      [Bytes.create]/[Bytes.make], [lazy] or [ref]-application token
+      after the chunk's [rec] keyword allocates on every retry — the
+      hot-path discipline is to hoist the fresh value out of the loop
+      and retry with it. Record literals are deliberately not flagged:
+      a CAS argument must be a fresh record, and hoisted descriptors
+      are rebuilt only when the observed value actually changed;
     - formatting nits that otherwise accumulate: tab characters,
       trailing whitespace, missing final newline.
 
@@ -605,6 +613,75 @@ let scan_helping ~path ~file s idx =
         List.rev !out)
       (chunks s.clean idx)
 
+(* ---- allocation-in-retry-loop rule ------------------------------------- *)
+
+let alloc_calls = [ "Array.make"; "Array.init"; "Bytes.create"; "Bytes.make" ]
+
+(* A [ref] token in expression position: preceded by a delimiter (a type
+   position, [int ref], follows an identifier) and applied to an
+   argument. *)
+let ref_application clean off =
+  let before =
+    let i = ref (off - 1) in
+    while !i >= 0 && (clean.[!i] = ' ' || clean.[!i] = '\n') do
+      decr i
+    done;
+    !i < 0 || not (is_ident_char clean.[!i])
+  in
+  let after =
+    let n = String.length clean in
+    let j = ref (off + 3) in
+    while !j < n && (clean.[!j] = ' ' || clean.[!j] = '\n') do
+      incr j
+    done;
+    !j < n
+    && (is_ident_char clean.[!j]
+       || clean.[!j] = '(' || clean.[!j] = '[' || clean.[!j] = '{')
+  in
+  before && after
+
+let is_alloc clean (tok, off) =
+  List.exists (fun a -> tok = a || ends_with ~suffix:("." ^ a) tok) alloc_calls
+  || tok = "lazy"
+  || (tok = "ref" && ref_application clean off)
+
+(* Allocation on the retry path: any allocation token after the [rec]
+   keyword of a chunk that performs a CAS runs again on every failed
+   attempt. Fresh records for the CAS itself are fine (record literals
+   are not tokens); arrays, lazies and refs built per attempt are the
+   pattern this PR's hot-path pass removes, so the lint keeps them from
+   coming back. *)
+let scan_alloc_retry ~path ~file s idx =
+  if helping_exempt_path path then []
+  else
+    List.concat_map
+      (fun ch ->
+        if not (ch.c_rec && List.exists (is_cas s.clean) ch.c_toks) then []
+        else
+          let rec_off =
+            List.find_map
+              (fun (t, off) -> if t = "rec" then Some off else None)
+              ch.c_toks
+            |> Option.value ~default:0
+          in
+          List.filter_map
+            (fun (t, off) ->
+              if off > rec_off && is_alloc s.clean (t, off) then
+                Some
+                  {
+                    file;
+                    line = line_of idx off;
+                    rule = "alloc-in-retry";
+                    msg =
+                      Printf.sprintf
+                        "%s allocates on every CAS retry; hoist the fresh \
+                         value out of the loop and reuse it across attempts"
+                        t;
+                  }
+              else None)
+            ch.c_toks)
+      (chunks s.clean idx)
+
 (* ---- format rules ------------------------------------------------------ *)
 
 let scan_format ~file src =
@@ -637,6 +714,7 @@ let scan ~path src =
   let base =
     boundary
     @ scan_helping ~path ~file:path s idx
+    @ scan_alloc_retry ~path ~file:path s idx
     @ scan_format ~file:path src
   in
   (* Waiver hygiene: a waiver needs a reason and a live finding to

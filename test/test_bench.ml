@@ -1,0 +1,200 @@
+(* Smoke coverage for the wall-clock benchmark pipeline: a tiny in-test
+   bench run must produce a schema-valid [Bench_json] document that
+   survives a serialize/parse round trip, malformed documents must be
+   rejected, and — the regression guard this PR exists for — a fresh
+   1-thread measurement must not fall below half the committed baseline
+   medians in bench/baseline/ (the 0.5x factor absorbs shared-CI noise;
+   the committed artifacts themselves show the true before/after).
+
+   The default run keeps the measured work tiny so `dune runtest` stays
+   fast; set BENCH_FULL=1 for the full ops count and the mixed panel. *)
+
+let check = Alcotest.(check bool)
+
+let full = Sys.getenv_opt "BENCH_FULL" = Some "1"
+
+let seed = 7L
+
+(* ops must match the baseline artifacts (recorded at 2^12): the timed
+   window includes a fixed per-trial startup cost, so throughputs are
+   only comparable at equal op counts; the full sweep matches the
+   non-quick CLI default *)
+let ops = if full then 1 lsl 15 else 1 lsl 12
+let trials = 3
+let warmup = 1
+
+(* baseline comparisons need more warmup and more trials than the schema
+   smoke runs: the first trials after process start run cold (page
+   faults, allocator growth) and a 3-trial median is one hiccup away
+   from an outlier *)
+let cmp_warmup = 2
+let cmp_trials = 5
+
+let tag (panel : Harness.Workload.panel) =
+  match panel with
+  | Insert -> "insert"
+  | Extract -> "extract"
+  | Mixed -> "mixed"
+  | Extract_many -> "extractmany"
+
+(* 1-thread only: the seq oracle is not thread-safe and single-core CI
+   makes multi-thread wall clock meaningless anyway *)
+let structures =
+  [ Harness.Pq.seq; Harness.Pq.On_real.mound_lf; Harness.Pq.On_real.mound_lock ]
+
+let bench_doc ?(warmup = warmup) ?(trials = trials) panel =
+  let init_size = Harness.Fig2.init_size_for Harness.Fig2.quick_scale panel in
+  let series =
+    List.map
+      (Harness.Real_exp.run_series ~seed ~warmup ~trials ~panel
+         ~thread_counts:[ 1 ] ~ops_per_thread:ops ~init_size)
+      structures
+  in
+  Harness.Bench_json.of_panel ~panel:(tag panel) ~seed ~warmup
+    ~measured_trials:trials ~ops_per_thread:ops ~init_size series
+
+let panels : Harness.Workload.panel list =
+  if full then [ Insert; Extract; Mixed ] else [ Insert; Extract ]
+
+let smoke_docs = lazy (List.map (fun p -> (p, bench_doc p)) panels)
+
+let smoke_bench_validates () =
+  List.iter
+    (fun (panel, doc) ->
+      match Harness.Bench_json.validate doc with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: invalid bench document: %s" (tag panel) e)
+    (Lazy.force smoke_docs)
+
+let roundtrip_preserves () =
+  List.iter
+    (fun (panel, doc) ->
+      let reparsed =
+        Harness.Bench_json.parse (Harness.Bench_json.to_string doc)
+      in
+      (match Harness.Bench_json.validate reparsed with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "%s: reparsed document invalid: %s" (tag panel) e);
+      List.iter
+        (fun m ->
+          let name = (m.Harness.Pq.make ~capacity:16).name in
+          let med j = Harness.Bench_json.median_of j ~structure:name ~threads:1 in
+          match (med doc, med reparsed) with
+          | Some a, Some b ->
+              (* floats survive the %.9g print/parse round trip within a
+                 relative epsilon *)
+              check
+                (Printf.sprintf "%s/%s median round-trips" (tag panel) name)
+                true
+                (Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.abs a))
+          | _ -> Alcotest.failf "%s/%s: median missing" (tag panel) name)
+        structures)
+    (Lazy.force smoke_docs)
+
+let malformed_rejected () =
+  (match Harness.Bench_json.parse "{ \"schema\": " with
+  | exception Harness.Bench_json.Malformed _ -> ()
+  | _ -> Alcotest.fail "truncated document parsed");
+  (match Harness.Bench_json.parse "{} trailing" with
+  | exception Harness.Bench_json.Malformed _ -> ()
+  | _ -> Alcotest.fail "trailing garbage parsed");
+  check "empty object rejected" true
+    (Result.is_error (Harness.Bench_json.validate (Harness.Bench_json.Obj [])));
+  (* wrong schema tag *)
+  let retagged =
+    match Lazy.force smoke_docs with
+    | (_, Harness.Bench_json.Obj kvs) :: _ ->
+        Harness.Bench_json.Obj
+          (List.map
+             (function
+               | "schema", _ -> ("schema", Harness.Bench_json.Str "other/9")
+               | kv -> kv)
+             kvs)
+    | _ -> assert false
+  in
+  check "wrong schema tag rejected" true
+    (Result.is_error (Harness.Bench_json.validate retagged));
+  (* a cell reporting fewer trials than declared *)
+  let starved =
+    match Lazy.force smoke_docs with
+    | (_, Harness.Bench_json.Obj kvs) :: _ ->
+        Harness.Bench_json.Obj
+          (List.map
+             (function
+               | "measured_trials", _ ->
+                   ("measured_trials", Harness.Bench_json.Num 99.)
+               | kv -> kv)
+             kvs)
+    | _ -> assert false
+  in
+  check "missing trials rejected" true
+    (Result.is_error (Harness.Bench_json.validate starved))
+
+(* Fresh medians vs. the committed pre-optimization baseline. Half the
+   baseline is a deliberate underbid: an actual hot-path regression
+   (e.g. reintroducing per-retry allocation) costs well over 2x on these
+   panels, while CI noise on a shared single core stays well under it. *)
+let baseline_not_regressed () =
+  List.iter
+    (fun panel ->
+      (* cwd is _build/default/test under `dune runtest` but the project
+         root under `dune exec test/test_bench.exe` *)
+      let path =
+        let rel = Printf.sprintf "bench/baseline/BENCH_%s.json" (tag panel) in
+        if Sys.file_exists (Filename.concat ".." rel) then
+          Filename.concat ".." rel
+        else rel
+      in
+      let baseline = Harness.Bench_json.load path in
+      (match Harness.Bench_json.validate baseline with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: baseline invalid: %s" path e);
+      let medians () =
+        let doc = bench_doc ~warmup:cmp_warmup ~trials:cmp_trials panel in
+        List.map
+          (fun m ->
+            let name = (m.Harness.Pq.make ~capacity:16).name in
+            let fresh =
+              Harness.Bench_json.median_of doc ~structure:name ~threads:1
+            and base =
+              Harness.Bench_json.median_of baseline ~structure:name ~threads:1
+            in
+            match (fresh, base) with
+            | Some f, Some b -> (name, f, b)
+            | _ -> Alcotest.failf "%s/%s: missing median" (tag panel) name)
+          structures
+      in
+      let below (_, f, b) = f < 0.5 *. b in
+      let first = medians () in
+      if List.exists below first then begin
+        (* one re-measure before declaring a regression: a single
+           descheduling blip on a shared core can sink a whole run *)
+        let retry = medians () in
+        List.iter2
+          (fun ((name, f1, b) as m1) ((_, f2, _) as m2) ->
+            if below m1 && below m2 then
+              Alcotest.failf
+                "%s/%s: medians %.0f and %.0f ops/s below half of baseline %.0f"
+                (tag panel) name f1 f2 b)
+          first retry
+      end)
+    panels
+
+let () =
+  Alcotest.run "bench"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "smoke bench validates" `Quick
+            smoke_bench_validates;
+          Alcotest.test_case "serialize/parse round trip" `Quick
+            roundtrip_preserves;
+          Alcotest.test_case "malformed rejected" `Quick malformed_rejected;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "no regression vs committed baseline" `Quick
+            baseline_not_regressed;
+        ] );
+    ]

@@ -162,6 +162,61 @@ let chaos_stream_deterministic () =
   in
   check "same plan, same fault stream" true (record () = record ())
 
+(* ---------------- tree expansion under injected faults ---------------- *)
+
+module CT = Mound.Tree.Make (C)
+
+(* The replacement row is allocated once, before the publish loop: a
+   spurious weak-CAS failure retries the publish with the same row, so a
+   single-threaded expansion allocates exactly one row per level even
+   when injection fails a large fraction of its CAS attempts. *)
+let chaos_expand_single_allocation () =
+  C.configure
+    { (Chaos.default ~seed:21L) with cas_fail_permil = 400; delay_permil = 0 };
+  let t = CT.create (fun () -> ref 0) in
+  let target = 12 in
+  for d = 1 to target - 1 do
+    (* the depth CAS is weak — a failed advance is legal; re-drive *)
+    while CT.depth t < d + 1 do
+      CT.expand t d
+    done
+  done;
+  check_int "depth reached" target (CT.depth t);
+  (* levels 0..2 are pre-published by [create]; 3..target-1 by expand *)
+  check_int "one allocation per level despite injected failures"
+    (target - 3) (CT.row_allocations t);
+  for i = 1 to (1 lsl target) - 1 do
+    ignore (CT.get t i)
+  done
+
+(* Racing expanders: losers may each allocate a row they fail to
+   publish, but at most one allocation wins per level — the depth is
+   exact, every published row is usable, and the total allocation count
+   is bounded by racers x levels rather than retries x levels. *)
+let chaos_expand_racing_allocations () =
+  C.configure
+    { (Chaos.default ~seed:22L) with cas_fail_permil = 200; delay_permil = 0 };
+  let t = CT.create (fun () -> ref 0) in
+  let threads = 4 and target = 10 in
+  let bodies =
+    Array.init threads (fun _ _ ->
+        for d = 1 to target - 1 do
+          while CT.depth t < d + 1 do
+            CT.expand t d
+          done
+        done)
+  in
+  ignore (Sim.Sched.run ~seed:13L bodies);
+  check_int "depth exact after race" target (CT.depth t);
+  let expanded = target - 3 in
+  check "every expanded level allocated at least once" true
+    (CT.row_allocations t >= expanded);
+  check "allocations bounded by racers, not by retries" true
+    (CT.row_allocations t <= threads * expanded);
+  for i = 1 to (1 lsl target) - 1 do
+    ignore (CT.get t i)
+  done
+
 (* ---------------- mcas helping under crash-stop stalls ---------------- *)
 
 module M = Mcas.Make (Harness.Chaos_exp.CR.Atomic)
@@ -278,6 +333,10 @@ let () =
             chaos_spurious_failures;
           Alcotest.test_case "fault stream deterministic" `Quick
             chaos_stream_deterministic;
+          Alcotest.test_case "expand: one row allocation per level" `Quick
+            chaos_expand_single_allocation;
+          Alcotest.test_case "expand: racing allocations bounded" `Quick
+            chaos_expand_racing_allocations;
         ] );
       ( "mcas-stall",
         [

@@ -36,6 +36,30 @@ let checker_uses_overlap () =
   (* but a non-overlapping later extract must see the insert *)
   check "after insert" false (Harness.Lin.check [ e 0 1 (Ins 5); e 2 3 (Ext None) ])
 
+let checker_batched_insert () =
+  (* an Ins_many lands its whole multiset at one linearization point *)
+  check "batch then drain" true
+    (Harness.Lin.check
+       [
+         e 0 1 (Ins_many [ 1; 4 ]);
+         e 2 3 (Ext (Some 1));
+         e 4 5 (Ext (Some 4));
+         e 6 7 (Ext None);
+       ]);
+  (* a later extract must see the batch's minimum, not a larger member *)
+  check "partial batch view rejected" false
+    (Harness.Lin.check [ e 0 1 (Ins_many [ 3; 5 ]); e 2 3 (Ext (Some 5)) ]);
+  (* an extract overlapping the batch may linearize before it *)
+  check "overlap None accepted" true
+    (Harness.Lin.check [ e 0 10 (Ins_many [ 3; 5 ]); e 1 2 (Ext None) ]);
+  (* but not a non-overlapping one *)
+  check "after batch must see it" false
+    (Harness.Lin.check [ e 0 1 (Ins_many [ 3; 5 ]); e 2 3 (Ext None) ]);
+  (* duplicates within a batch are distinct multiset members *)
+  check "batch duplicates" true
+    (Harness.Lin.check
+       [ e 0 1 (Ins_many [ 2; 2 ]); e 2 3 (Ext (Some 2)); e 4 5 (Ext (Some 2)) ])
+
 let checker_initial_state () =
   check "init respected" true
     (Harness.Lin.check ~init:[ 4 ] [ e 0 1 (Ext (Some 4)) ]);
@@ -68,6 +92,37 @@ let assert_linearizable name maker () =
       let history = record_history maker ~seed in
       check
         (Printf.sprintf "%s linearizable (seed %Ld)" name seed)
+        true (Harness.Lin.check history))
+    seeds
+
+(* Batched-insert histories against the sequential oracle. [insert_many]
+   splices one node prefix per CAS/lock pair, so it is atomic as a whole
+   only when no concurrent extract can observe the gap between splices;
+   these scripts keep the atomic [Ins_many] spec sound by construction —
+   the only extracting thread runs its extracts after its own batch, and
+   every other thread just inserts. *)
+let record_batched_history (maker : Harness.Pq.maker) ~seed =
+  let q = maker.make ~capacity:4096 in
+  let rng = Prng.create seed in
+  let batch n lo = List.sort compare (List.init n (fun _ -> lo + Prng.int rng 40)) in
+  let scr =
+    [
+      [ `Insert_many (batch 4 0); `Extract; `Extract; `Extract_many ];
+      [ `Insert (Prng.int rng 50); `Insert_many (batch 3 10) ];
+      [ `Insert_many (batch 2 20); `Insert (Prng.int rng 50) ];
+    ]
+  in
+  let pairs = List.map (fun s -> Harness.Lin.recorder q s) scr in
+  let bodies = Array.of_list (List.map (fun (b, _) -> fun _ -> b ()) pairs) in
+  ignore (Sim.Sched.run ~seed bodies);
+  List.concat_map (fun (_, collect) -> collect ()) pairs
+
+let assert_batched_linearizable name maker () =
+  List.iter
+    (fun seed ->
+      let history = record_batched_history maker ~seed in
+      check
+        (Printf.sprintf "%s batched linearizable (seed %Ld)" name seed)
         true (Harness.Lin.check history))
     seeds
 
@@ -213,6 +268,7 @@ let () =
           Alcotest.test_case "rejects wrong min" `Quick
             checker_rejects_wrong_min;
           Alcotest.test_case "uses overlap" `Quick checker_uses_overlap;
+          Alcotest.test_case "batched insert" `Quick checker_batched_insert;
           Alcotest.test_case "initial state" `Quick checker_initial_state;
           Alcotest.test_case "tampered history caught" `Quick
             tampered_history_caught;
@@ -232,6 +288,11 @@ let () =
             (assert_linearizable "mound_lf" Harness.Pq.On_sim.mound_lf);
           Alcotest.test_case "mound_lock" `Quick
             (assert_linearizable "mound_lock" Harness.Pq.On_sim.mound_lock);
+          Alcotest.test_case "mound_lf batched" `Quick
+            (assert_batched_linearizable "mound_lf" Harness.Pq.On_sim.mound_lf);
+          Alcotest.test_case "mound_lock batched" `Quick
+            (assert_batched_linearizable "mound_lock"
+               Harness.Pq.On_sim.mound_lock);
           Alcotest.test_case "coarse" `Quick
             (assert_linearizable "coarse" Harness.Pq.On_sim.coarse);
           Alcotest.test_case "stm_heap" `Quick

@@ -208,6 +208,62 @@ let test_cas_discard () =
   check_count "type field fine" 0
     (scan "lib/core/x.ml" "type t = { gets : int; cas : int }\n")
 
+let test_alloc_in_retry () =
+  let alloc fs = List.filter (fun f -> f.Lint_rules.rule = "alloc-in-retry") fs in
+  (* an array built on every failed attempt *)
+  let hot =
+    "let rec push q v =\n\
+    \    let fresh = Array.make 4 v in\n\
+    \    if M.cas q [] fresh then () else push q v\n"
+  in
+  check_count "array alloc in retry loop" 1 (alloc (scan "lib/core/x.ml" hot));
+  (* a ref rebuilt per attempt *)
+  let with_ref =
+    "let rec push q v =\n\
+    \    let cell = ref v in\n\
+    \    if M.cas q [] cell then () else push q v\n"
+  in
+  check_count "ref alloc in retry loop" 1 (alloc (scan "lib/core/x.ml" with_ref));
+  (* allocation hoisted before the loop: the blessed shape *)
+  let hoisted =
+    "let push q v =\n\
+    \  let fresh = Array.make 4 v in\n\
+    \  let rec go () = if M.cas q [] fresh then () else go () in\n\
+    \  go ()\n"
+  in
+  check_count "hoisted alloc fine" 0 (alloc (scan "lib/core/x.ml" hoisted));
+  (* fresh record literals are CAS arguments and must not be flagged *)
+  let record =
+    "let rec push q v =\n\
+    \    let cur = M.get q in\n\
+    \    if M.cas q cur { list = v :: cur.list; dirty = false } then ()\n\
+    \    else push q v\n"
+  in
+  check_count "record literal fine" 0 (alloc (scan "lib/core/x.ml" record));
+  (* a recursive chunk without a CAS is not a retry loop *)
+  let no_cas =
+    "let rec build n acc =\n\
+    \    if n = 0 then acc else build (n - 1) (ref n :: acc)\n"
+  in
+  check_count "no cas, no finding" 0 (alloc (scan "lib/core/x.ml" no_cas));
+  (* [int ref] in type position is not an allocation *)
+  let type_pos =
+    "let rec push (q : int ref M.t) v =\n\
+    \    if M.cas q [] v then () else push q v\n"
+  in
+  check_count "ref type annotation fine" 0
+    (alloc (scan "lib/core/x.ml" type_pos));
+  (* a reasoned waiver silences it *)
+  let waived =
+    "let rec push q v =\n\
+    \    (* lint: allow — rebuilt only when the observed value changed *)\n\
+    \    let fresh = Array.make 4 v in\n\
+    \    if M.cas q [] fresh then () else push q v\n"
+  in
+  check_count "waiver silences" 0 (alloc (scan "lib/core/x.ml" waived));
+  (* baselines are exempt, as for the other helping-discipline rules *)
+  check_count "baselines exempt" 0 (alloc (scan "lib/baselines/x.ml" hot))
+
 let test_functor_constraint_idiom () =
   check_count "with type 'a Atomic.t" 0
     (boundary
@@ -288,6 +344,7 @@ let () =
           Alcotest.test_case "retry-no-backoff" `Quick test_retry_no_backoff;
           Alcotest.test_case "dirty-spin" `Quick test_dirty_spin;
           Alcotest.test_case "cas-discard" `Quick test_cas_discard;
+          Alcotest.test_case "alloc-in-retry" `Quick test_alloc_in_retry;
         ] );
       ( "mutable-atomic",
         [ Alcotest.test_case "heuristic" `Quick test_mutable_atomic ] );

@@ -8,6 +8,22 @@ let check_int = Alcotest.(check int)
 let make_tree ?threshold ?init_depth ?rand () =
   T.create ?threshold ?init_depth ?rand (fun () -> ref (-1))
 
+(* Pin the constant-time level_of against the naive shift-loop reference
+   it replaced, over every index of a 16-level tree plus the extremes. *)
+let level_of_pinned () =
+  let reference i =
+    let rec go l v = if v <= 1 then l else go (l + 1) (v lsr 1) in
+    go 0 i
+  in
+  for i = 1 to 1 lsl 16 do
+    if Mound.Tree.level_of i <> reference i then
+      Alcotest.failf "level_of %d: got %d, want %d" i (Mound.Tree.level_of i)
+        (reference i)
+  done;
+  check_int "max_int" 61 (Mound.Tree.level_of max_int);
+  check_int "2^40" 40 (Mound.Tree.level_of (1 lsl 40));
+  check_int "2^40-1" 39 (Mound.Tree.level_of ((1 lsl 40) - 1))
+
 let level_of () =
   check_int "level 1" 0 (T.level_of 1);
   check_int "level 2" 1 (T.level_of 2);
@@ -39,9 +55,12 @@ let creation_and_get () =
 
 let get_unallocated_rejected () =
   let t = make_tree ~init_depth:1 () in
-  Alcotest.check_raises "level 1 not allocated"
+  (* the hot levels (0..2) are pre-published by [create] for padding,
+     so the first genuinely unallocated row is level 3 *)
+  List.iter (fun i -> ignore (T.get t i)) [ 2; 4; 7 ];
+  Alcotest.check_raises "level 3 not allocated"
     (Invalid_argument "Mound.Tree.get: unallocated level") (fun () ->
-      ignore (T.get t 2))
+      ignore (T.get t 8))
 
 let bad_args_rejected () =
   Alcotest.check_raises "depth 0"
@@ -124,6 +143,23 @@ let fold_visits_all () =
   check "indices match contents" true
     (List.for_all (fun (i, v) -> i = v) visited)
 
+let row_allocation_accounting () =
+  let t = make_tree ~init_depth:1 () in
+  check_int "no expand-time allocations at creation" 0 (T.row_allocations t);
+  (* levels 1 and 2 are pre-published (hot padding): expanding through
+     them advances the depth without allocating *)
+  T.expand t 1;
+  T.expand t 2;
+  check_int "pre-published rows not re-allocated" 0 (T.row_allocations t);
+  T.expand t 3;
+  check_int "level 3 allocated once" 1 (T.row_allocations t);
+  (* a stale expand of an already-published level allocates nothing *)
+  T.expand t 3;
+  check_int "stale expand allocation-free" 1 (T.row_allocations t);
+  T.expand t 4;
+  check_int "level 4 allocated once" 2 (T.row_allocations t);
+  check_int "depth advanced" 5 (T.depth t)
+
 let concurrent_expansion () =
   (* domains race to expand; depth must advance exactly and all rows must
      be usable afterwards *)
@@ -176,6 +212,8 @@ let () =
       ( "geometry",
         [
           Alcotest.test_case "level_of" `Quick level_of;
+          Alcotest.test_case "level_of pinned to loop reference" `Quick
+            level_of_pinned;
           Alcotest.test_case "is_leaf" `Quick is_leaf;
         ] );
       ( "storage",
@@ -185,6 +223,8 @@ let () =
             get_unallocated_rejected;
           Alcotest.test_case "bad args rejected" `Quick bad_args_rejected;
           Alcotest.test_case "expansion" `Quick expansion;
+          Alcotest.test_case "row allocation accounting" `Quick
+            row_allocation_accounting;
           Alcotest.test_case "fold visits all" `Quick fold_visits_all;
           Alcotest.test_case "concurrent expansion" `Quick
             concurrent_expansion;
