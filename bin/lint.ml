@@ -1,10 +1,14 @@
-(** Runtime-boundary and format lint over the library tree.
+(** Tree-wide lint driver: token rules and AST analyses together.
 
     Usage: [lint.exe DIR...] — scans every [.ml]/[.mli] under each DIR
-    (default [lib]) with {!Lint_rules} and exits nonzero if anything is
-    flagged. Wired into the default [dune runtest] so a direct
-    [Stdlib.Atomic] or [Domain] use outside [lib/runtime]/[lib/sim]
-    fails the build, not a review. *)
+    (default [lib]) with both engines linked as one program: the token
+    lint ({!Lint_rules}) plus the Parsetree analyses ({!Analysis}:
+    lock-order, publication safety, helping discipline v2), their
+    findings merged through the same waiver machinery. Exits nonzero if
+    anything is flagged. Wired into the default [dune runtest] via the
+    [@lint] alias, so a direct [Stdlib.Atomic] use outside the runtime,
+    a child-before-parent lock acquisition, or a retry loop that
+    neither helps nor backs off fails the build, not a review. *)
 
 let () =
   let roots =
@@ -12,9 +16,9 @@ let () =
     | _ :: (_ :: _ as dirs) -> dirs
     | _ -> [ "lib" ]
   in
-  let findings = List.concat_map Lint_rules.scan_tree roots in
+  let findings = Analysis.scan_trees roots in
   List.iter
-    (fun f -> Format.printf "%a@." Lint_rules.pp_finding f)
+    (fun f -> Format.printf "%a@." Analysis.pp_finding f)
     findings;
   match findings with
   | [] ->

@@ -8,6 +8,7 @@
     repro chaos [--seed S] [--full]        # crash-stop + fault-injection sweep
     repro dpor [PROGRAM] [--schedule S]    # DPOR model checking / replay
     repro progress [PROGRAM] [--quick]     # liveness certification / replay
+    repro lint [--rule R] [--json] [DIR..] # token + AST lint engines
     repro all [--quick]                    # everything, in paper order
     v} *)
 
@@ -703,6 +704,82 @@ let progress_cmd =
         (const run_progress $ program_arg $ quick_flag $ seed_arg
        $ prefix_arg $ pump_arg))
 
+(* ---------- lint: token rules + AST analyses ---------- *)
+
+let run_lint rule json roots =
+  let roots = if roots = [] then [ "lib" ] else roots in
+  let findings = Analysis.scan_trees roots in
+  let findings =
+    match rule with
+    | None -> findings
+    | Some r -> List.filter (fun f -> f.Analysis.rule = r) findings
+  in
+  if json then begin
+    let module J = Harness.Bench_json in
+    let doc =
+      J.Obj
+        [
+          ("schema", J.Str "mound-lint/1");
+          ("roots", J.Arr (List.map (fun r -> J.Str r) roots));
+          ( "rule",
+            match rule with None -> J.Null | Some r -> J.Str r );
+          ("count", J.Num (float_of_int (List.length findings)));
+          ( "findings",
+            J.Arr
+              (List.map
+                 (fun (f : Analysis.finding) ->
+                   J.Obj
+                     [
+                       ("file", J.Str f.file);
+                       ("line", J.Num (float_of_int f.line));
+                       ("rule", J.Str f.rule);
+                       ("msg", J.Str f.msg);
+                     ])
+                 findings) );
+        ]
+    in
+    print_string (J.to_string doc);
+    print_newline ()
+  end
+  else begin
+    List.iter
+      (fun f -> Format.fprintf ppf "%a@." Analysis.pp_finding f)
+      findings;
+    Format.fprintf ppf "lint: %d finding(s)@." (List.length findings);
+    Format.pp_print_flush ppf ()
+  end;
+  if findings <> [] then exit 1
+
+let lint_cmd =
+  let rule_arg =
+    let all = Analysis.static_rules @ Analysis.token_rules in
+    Arg.(
+      value
+      & opt (some (enum (List.map (fun r -> (r, r)) all))) None
+      & info [ "rule" ] ~docv:"RULE"
+          ~doc:
+            (Printf.sprintf "Report only findings of $(docv) (one of %s)."
+               (String.concat ", " all)))
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit machine-readable JSON (schema mound-lint/1).")
+  in
+  let roots_arg =
+    Arg.(
+      value & pos_all dir []
+      & info [] ~docv:"DIR" ~doc:"Trees to scan (default: lib).")
+  in
+  let doc =
+    "Run both lint engines (token rules and the AST analyses: \
+     lock-order, publication safety, helping discipline) over source \
+     trees."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run_lint $ rule_arg $ json_arg $ roots_arg)
+
 (* ---------- everything ---------- *)
 
 let run_all quick =
@@ -728,5 +805,5 @@ let () =
           [
             table_cmd 1; table_cmd 2; table_cmd 3; table_cmd 4; fig2_cmd;
             real_cmd; bench_cmd; ablation_cmd; lin_cmd; chaos_cmd; dpor_cmd;
-            progress_cmd; shape_cmd; all_cmd;
+            progress_cmd; shape_cmd; lint_cmd; all_cmd;
           ]))

@@ -1,0 +1,40 @@
+(** Parsing front-end of the AST analyzer.
+
+    Maps an OCaml implementation source to its located {!Parsetree}
+    structure via compiler-libs. Interface files are not parsed — the
+    token lint already covers them, and every analysis here is about
+    function bodies. A file that fails to parse yields a single finding
+    under the [parse] rule instead of an exception, so one broken file
+    cannot hide the findings of the rest of the tree. *)
+
+type parsed = {
+  p_path : string;
+  p_src : string;
+  p_ast : Parsetree.structure;
+}
+
+(** Module name a file's definitions live under: capitalized basename,
+    as the compiler does it ([lf_mound.ml] → [Lf_mound]). *)
+let module_name_of_path path =
+  Filename.basename path |> Filename.remove_extension |> String.capitalize_ascii
+
+let parse ~path src : (parsed, Lint_rules.finding) result =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast -> Ok { p_path = path; p_src = src; p_ast = ast }
+  | exception exn ->
+      let line =
+        match Location.error_of_exn exn with
+        | Some (`Ok err) -> err.main.loc.loc_start.pos_lnum
+        | _ -> 1
+      in
+      Error
+        {
+          Lint_rules.file = path;
+          line;
+          rule = "parse";
+          msg = "source does not parse; AST analyses skipped for this file";
+        }
+
+let line_of_loc (loc : Location.t) = loc.loc_start.pos_lnum

@@ -512,8 +512,55 @@ let dirty_test clean off =
   done;
   !verdict
 
+(* After a CAS in statement-looking position (a [;] precedes it), decide
+   whether its value nevertheless flows somewhere: scan {e forward} past
+   the call for the first decisive token at bracket depth <= 0. [in],
+   [then], [else], [&&], [||] and [|>] mean the CAS ends a sequence whose
+   value is bound or tested ([let ok = bump (); M.cas ... in ...] — the
+   multiline-split shape that used to false-positive); a further [;],
+   [done] or end of file means the value really is dropped. Unmatched
+   closing brackets are transparent: the value flows out of the
+   parenthesis to whatever consumes it there. *)
+let value_consumed_ahead clean off =
+  let n = String.length clean in
+  let depth = ref 0 in
+  let i = ref off in
+  let verdict = ref None in
+  while !verdict = None && !i < n do
+    let c = clean.[!i] in
+    if c = '(' || c = '[' || c = '{' then begin
+      incr depth;
+      incr i
+    end
+    else if c = ')' || c = ']' || c = '}' then begin
+      decr depth;
+      incr i
+    end
+    else if !depth > 0 then incr i
+    else if c = ';' then verdict := Some false
+    else if c = '&' && !i + 1 < n && clean.[!i + 1] = '&' then
+      verdict := Some true
+    else if c = '|' && !i + 1 < n && clean.[!i + 1] = '|' then
+      verdict := Some true
+    else if c = '|' && !i + 1 < n && clean.[!i + 1] = '>' then
+      verdict := Some true
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char clean.[!i] do
+        incr i
+      done;
+      match String.sub clean start (!i - start) with
+      | "in" | "then" | "else" -> verdict := Some true
+      | "done" -> verdict := Some false
+      | _ -> ()
+    end
+    else incr i
+  done;
+  Option.value !verdict ~default:false
+
 (* Is the CAS-family call at [off] discarded? [ignore (M.cas ...)],
-   [let _ = M.cas ...], or statement position after [;]. *)
+   [let _ = M.cas ...], or statement position after [;] — unless the
+   forward scan shows the sequence's value is consumed. *)
 let cas_discarded clean off =
   let i = ref (off - 1) in
   let skip_ws () =
@@ -532,7 +579,7 @@ let cas_discarded clean off =
   in
   skip_ws ();
   if !i < 0 then false
-  else if clean.[!i] = ';' then true
+  else if clean.[!i] = ';' then not (value_consumed_ahead clean off)
   else if clean.[!i] = '(' then begin
     decr i;
     skip_ws ();
@@ -703,7 +750,21 @@ let scan_format ~file src =
 
 (* ---- entry points ------------------------------------------------------ *)
 
-let scan ~path src =
+(* The token scan split in two, so a second engine (the AST analyzer in
+   [lib/analysis]) can contribute findings to the {e same} waiver
+   machinery: [scan_raw] produces the unfiltered token findings plus the
+   stripped-source waiver info; [apply_waivers] filters any finding list
+   through those waivers and judges waiver hygiene against the union —
+   a waiver covering only an AST-level finding is live, not stale. *)
+type raw = {
+  raw_base : finding list;  (* token findings, pre-waiver *)
+  raw_boundary_all : finding list;
+      (* boundary findings before the allow-file filter; the file-waiver
+         staleness check needs them *)
+  raw_stripped : stripped;
+}
+
+let scan_raw ~path src =
   let s = strip src in
   let idx = line_index src in
   let boundary_all =
@@ -717,6 +778,12 @@ let scan ~path src =
     @ scan_alloc_retry ~path ~file:path s idx
     @ scan_format ~file:path src
   in
+  { raw_base = base; raw_boundary_all = boundary_all; raw_stripped = s }
+
+let apply_waivers ~path raw ~extra =
+  let s = raw.raw_stripped in
+  let base = raw.raw_base @ extra in
+  let boundary_all = raw.raw_boundary_all in
   (* Waiver hygiene: a waiver needs a reason and a live finding to
      waive. These findings are not themselves waivable. *)
   let hygiene =
@@ -766,6 +833,8 @@ let scan ~path src =
   in
   List.filter (fun f -> not (Hashtbl.mem s.waived f.line)) base @ hygiene
   |> List.sort (fun a b -> compare (a.line, a.rule) (b.line, b.rule))
+
+let scan ~path src = apply_waivers ~path (scan_raw ~path src) ~extra:[]
 
 let scan_file path =
   let ic = open_in_bin path in

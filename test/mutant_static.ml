@@ -1,0 +1,217 @@
+(* Deliberately broken sources seeded for the static-analysis tier.
+   Each module plants one defect the {!Analysis} engines must catch —
+   and, where a dynamic tier covers the same defect class, carries a
+   runnable program so the static verdict can be cross-checked against
+   the DPOR / liveness verdict on the very same code:
+
+   - [Lock_inverted_static]: the locking mound's hand-over-hand
+     acquisition with the child locked before its parent, over the real
+     [c]/[c / 2] index arithmetic. The lock-order analysis must flag
+     the ancestor acquisition while a descendant is held; under the
+     liveness checker the same code deadlocks against a correctly
+     ordered peer (a fair no-write cycle), mirroring
+     [Mutant_live.Lock_inverted].
+
+   - [Post_publish_mutation]: an extraction that CASes the root record
+     onto itself and then mutates its list field in place — the
+     fresh-copy publication discipline of paper Listing 2 deleted. The
+     publication analysis must flag both halves (re-publishing a shared
+     read, then writing through it); under DPOR the two-extract
+     interleaving double-delivers the minimum, breaking
+     linearizability.
+
+   - [Aliased_helper_dropped]: an extraction retry loop that binds the
+     helper under another name ([let restore = moundify]) and never
+     calls it. The token lint's substring heuristic sees "moundify" in
+     the chunk and stays silent; helping-discipline v2 works on the
+     call graph and must flag the loop. [Aliased_helper_kept] is the
+     negative twin — same alias, actually invoked — that must stay
+     clean. The dynamic analog (helping deleted means the victim's
+     obstruction is never cleared) is [Mutant_live.No_help].
+
+   This file is scanned as source by [test_analysis] (a declared dep of
+   the test stanza); it must stay outside [lib/] so the shipped-tree
+   lint stays clean. *)
+
+module Lock_inverted_static = struct
+  module R = Sim.Runtime
+
+  type lnode = { locked : bool; owner : int }
+  type t = { slots : lnode R.Atomic.t array }
+
+  let create n =
+    { slots = Array.init n (fun _ -> R.Atomic.make { locked = false; owner = -1 }) }
+
+  let get_at t i = t.slots.(i)
+
+  (* Faithful copies of the locking mound's primitives: the spin backs
+     off, so helping-discipline stays quiet and the only defect is the
+     acquisition order below. *)
+  let set_lock slot =
+    let rec spin () =
+      let cur = R.Atomic.get slot in
+      if cur.locked then begin
+        R.cpu_relax ();
+        spin ()
+      end
+      else if not (R.Atomic.compare_and_set slot cur { locked = true; owner = 0 })
+      then spin ()
+    in
+    spin ()
+
+  let unlock slot =
+    let cur = R.Atomic.get slot in
+    R.Atomic.set slot { cur with locked = false }
+
+  (* THE MUTATION: upstream locks parent before child (ancestor order);
+     here the child [c] is locked first, then its parent [c / 2]. *)
+  let insert_inverted t c =
+    let cslot = get_at t c in
+    let pslot = get_at t (c / 2) in
+    set_lock cslot;
+    set_lock pslot;
+    unlock pslot;
+    unlock cslot
+
+  (* The correct order, for the deadlock partner and as the analysis'
+     in-file negative: ancestor before descendant must not be flagged. *)
+  let extract_ordered t c =
+    let pslot = get_at t (c / 2) in
+    let cslot = get_at t c in
+    set_lock pslot;
+    set_lock cslot;
+    unlock cslot;
+    unlock pslot
+end
+
+module Post_publish_mutation = struct
+  module R = Sim.Runtime
+  module M = Mcas.Make (R.Atomic)
+
+  type mnode = { mutable list : int list; seq : int }
+  type t = { root : mnode M.loc }
+
+  let create () = { root = M.make { list = []; seq = 0 } }
+
+  (* Insert publishes a fresh record and backs off on contention —
+     correct on both analysis dimensions, and the in-file negative. *)
+  let rec insert t v =
+    let cur = M.get t.root in
+    if not (M.cas t.root cur { list = v :: cur.list; seq = cur.seq + 1 })
+    then begin
+      R.cpu_relax ();
+      insert t v
+    end
+
+  (* THE MUTATION: the CAS re-installs the very record it read (a
+     no-op "lock" by physical equality), then edits it in place. Two
+     extractions that read the same root both pass the CAS and both
+     deliver the old head. *)
+  let rec extract_min t =
+    let root = M.get t.root in
+    match root.list with
+    | [] -> None
+    | hd :: tl ->
+        if M.cas t.root root root then begin
+          root.list <- tl;
+          Some hd
+        end
+        else begin
+          R.cpu_relax ();
+          extract_min t
+        end
+
+  let size t = List.length (M.get t.root).list
+
+  let check t =
+    let rec sorted = function
+      | [] | [ _ ] -> true
+      | a :: (b :: _ as rest) -> a <= b && sorted rest
+    in
+    sorted (M.get t.root).list
+end
+
+module Aliased_helper_dropped = struct
+  module R = Sim.Runtime
+  module M = Mcas.Make (R.Atomic)
+
+  type mnode = { list : int list; dirty : bool; seq : int }
+
+  let moundify slot =
+    let cur = M.get slot in
+    ignore (M.cas slot cur { list = cur.list; dirty = false; seq = cur.seq + 1 })
+
+  (* THE MUTATION: the helper is aliased — the token lint sees the
+     substring "moundify" in the loop's chunk and stays silent — but
+     [restore] is never called, so the retry loop neither helps nor
+     backs off. *)
+  let rec extract_spin t slot =
+    let restore = moundify in
+    ignore restore;
+    let cur = M.get slot in
+    match cur.list with
+    | [] -> None
+    | hd :: tl ->
+        if M.cas slot cur { list = tl; dirty = cur.dirty; seq = cur.seq + 1 }
+        then Some hd
+        else extract_spin t slot
+
+  (* The negative twin: the same alias, actually invoked on failure.
+     The call graph resolves [restore] to [moundify], whose completing
+     CAS counts as helping — no finding. *)
+  let rec extract_helping t slot =
+    let restore = moundify in
+    let cur = M.get slot in
+    match cur.list with
+    | [] -> None
+    | hd :: tl ->
+        if M.cas slot cur { list = tl; dirty = cur.dirty; seq = cur.seq + 1 }
+        then Some hd
+        else begin
+          restore slot;
+          extract_helping t slot
+        end
+end
+
+(* ---- dynamic cross-checks over the mutants ----------------------------- *)
+
+(** Two threads on adjacent tree slots, opposite acquisition orders:
+    each holds one lock and spins reading the other — the liveness
+    checker must confirm a fair no-write cycle (a deadlock), the same
+    verdict class as [Mutant_live.lock_inverted_program]. *)
+let lock_inverted_static_program : Liveness.program =
+  let prepare () =
+    Sim.Sched.seed_ambient 11L;
+    let t = Lock_inverted_static.create 4 in
+    let ops_done = Array.make 2 0 in
+    let bodies =
+      [|
+        (fun _ ->
+          Lock_inverted_static.insert_inverted t 2;
+          ops_done.(0) <- 1);
+        (fun _ ->
+          Lock_inverted_static.extract_ordered t 2;
+          ops_done.(1) <- 1);
+      |]
+    in
+    { Liveness.bodies; ops_done = (fun () -> Array.copy ops_done) }
+  in
+  { Liveness.name = "mutant-lock-inverted-static"; prepare }
+
+(** A [Harness.Pq.t] over the publication mutant, for
+    {!Harness.Dpor_exp.pq_program}'s two-extract probe. *)
+let post_publish_pq () : Harness.Pq.t =
+  let q = Post_publish_mutation.create () in
+  let module P = Post_publish_mutation in
+  {
+    name = "Mutant root list (post-publish mutation)";
+    insert = P.insert q;
+    insert_many = (fun b -> List.iter (P.insert q) b);
+    extract_min = (fun () -> P.extract_min q);
+    extract_many =
+      (fun () -> match P.extract_min q with None -> [] | Some v -> [ v ]);
+    extract_approx = (fun () -> P.extract_min q);
+    size = (fun () -> P.size q);
+    check = (fun () -> P.check q);
+    ops = (fun () -> None);
+  }

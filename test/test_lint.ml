@@ -200,6 +200,45 @@ let test_cas_discard () =
        (scan "lib/core/x.ml" "let f q r =\n  r := 1;\n  M.cas q 0 1\n"));
   check_count "branched-on cas fine" 0
     (scan "lib/core/x.ml" "let f q = if M.cas q 0 1 then 1 else 0\n");
+  (* a CAS ending a sequence whose value is let-bound (or otherwise
+     consumed) on a following line is not discarded: only the [;] on
+     the preceding line is in sight when walking backwards, so the
+     verdict must come from scanning forward to the binder *)
+  check_count "let-bound sequence tail fine" 0
+    (scan "lib/core/x.ml"
+       "let f q r =\n\
+       \  let ok =\n\
+       \    r := 1;\n\
+       \    M.cas q 0 1\n\
+       \  in\n\
+       \  ok\n");
+  check_count "parenthesized condition tail fine" 0
+    (scan "lib/core/x.ml"
+       "let f q r =\n\
+       \  if (r := 1;\n\
+       \      M.cas q 0 1) then 1 else 0\n");
+  (* but a mid-sequence CAS is still discarded even when a binder
+     follows later *)
+  Alcotest.(check (list string)) "mid-sequence cas still flagged"
+    [ "cas-discard" ]
+    (rules
+       (scan "lib/core/x.ml"
+          "let f q r =\n\
+          \  let ok =\n\
+          \    r := 1;\n\
+          \    M.cas q 0 1;\n\
+          \    r := 2\n\
+          \  in\n\
+          \  ok\n"));
+  Alcotest.(check (list string)) "while-body tail still flagged"
+    [ "cas-discard" ]
+    (rules
+       (scan "lib/core/x.ml"
+          "let f q r =\n\
+          \  while !r do\n\
+          \    r := false;\n\
+          \    M.cas q 0 1\n\
+          \  done\n"));
   (* record labels and counter fields named [cas] are not calls *)
   check_count "field assignment fine" 0
     (scan "lib/core/x.ml" "let reset c =\n  c.cas <- 0\n");
