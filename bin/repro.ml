@@ -275,6 +275,103 @@ let bench_cmd =
       const run_bench $ panel_arg $ threads_arg $ trials_arg $ warmup_arg
       $ quick_flag $ out_arg)
 
+(* ---------- overload / degradation artifacts ---------- *)
+
+let run_overload scenario threads trials warmup quick out =
+  let seed = 7L in
+  let ops = if quick then 1 lsl 12 else 1 lsl 15 in
+  let trials =
+    match trials with Some n -> n | None -> if quick then 3 else 5
+  in
+  let warmup = Option.value warmup ~default:1 in
+  let max_t =
+    match threads with
+    | Some n -> n
+    | None -> max 2 (Domain.recommended_domain_count ())
+  in
+  let thread_counts =
+    let base = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+    List.filter (fun t -> t <= max_t) base |> fun l ->
+    if l = [] then [ 1 ] else l
+  in
+  (* Watermark well below the per-thread budget, so every scenario
+     actually saturates admission rather than fitting inside capacity. *)
+  let capacity = max 64 (ops / 16) in
+  let scenarios =
+    match scenario with
+    | Some s -> [ s ]
+    | None -> Harness.Real_exp.[ Bursty; Overcap; Zipf_mix ]
+  in
+  List.iter
+    (fun scenario ->
+      let run maker =
+        Harness.Real_exp.run_overload_series ~seed ~warmup ~trials ~scenario
+          ~thread_counts ~ops_per_thread:ops ~capacity maker
+      in
+      let series =
+        List.map run
+          [ Harness.Pq.On_real.mound_lf; Harness.Pq.On_real.mound_lock ]
+      in
+      let tag = "overload_" ^ Harness.Real_exp.scenario_name scenario in
+      let doc =
+        Harness.Bench_json.of_panel ~panel:tag ~seed ~warmup
+          ~measured_trials:trials ~ops_per_thread:ops ~init_size:capacity
+          series
+      in
+      (match Harness.Bench_json.validate doc with
+      | Ok () -> ()
+      | Error e -> failwith (Printf.sprintf "BENCH_%s.json invalid: %s" tag e));
+      let path = Filename.concat out (Printf.sprintf "BENCH_%s.json" tag) in
+      Harness.Bench_json.write_file path (Harness.Bench_json.to_string doc);
+      Format.fprintf ppf "@.[overload] %s (capacity %d) -> %s@." tag capacity
+        path;
+      Format.fprintf ppf "%-18s %7s %14s %10s %10s %10s@." "structure"
+        "threads" "median ktps" "rejected" "shed" "timeouts";
+      List.iter
+        (fun (s : Harness.Real_exp.series) ->
+          List.iter
+            (fun (c : Harness.Real_exp.cell) ->
+              let rej, shed, tmo =
+                match c.counters with
+                | Some o ->
+                    Mound.Stats.Ops.(o.rejected, o.shed, o.deadline_timeouts)
+                | None -> (0, 0, 0)
+              in
+              Format.fprintf ppf "%-18s %7d %14.1f %10d %10d %10d@."
+                s.structure c.threads
+                (c.summary.median /. 1000.)
+                rej shed tmo)
+            s.cells)
+        series)
+    scenarios;
+  Format.pp_print_flush ppf ()
+
+let scenario_arg =
+  let parse s =
+    match Harness.Real_exp.scenario_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown scenario %S" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf (Harness.Real_exp.scenario_name s)
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "scenario" ] ~docv:"SCENARIO"
+        ~doc:"Overload scenario: bursty, overcap or zipf (default: all).")
+
+let overload_cmd =
+  let doc =
+    "Record overload/degradation artifacts (BENCH_overload_<scenario>.json): \
+     the LF and lock mounds behind the bounded admission front-end under \
+     bursty, sustained over-capacity and Zipfian traffic."
+  in
+  Cmd.v (Cmd.info "overload" ~doc)
+    Term.(
+      const run_overload $ scenario_arg $ threads_arg $ trials_arg
+      $ warmup_arg $ quick_flag $ out_arg)
+
 (* ---------- ablations & extensions ---------- *)
 
 let run_ablation which quick =
@@ -804,6 +901,7 @@ let () =
        (Cmd.group info
           [
             table_cmd 1; table_cmd 2; table_cmd 3; table_cmd 4; fig2_cmd;
-            real_cmd; bench_cmd; ablation_cmd; lin_cmd; chaos_cmd; dpor_cmd;
+            real_cmd; bench_cmd; overload_cmd; ablation_cmd; lin_cmd;
+            chaos_cmd; dpor_cmd;
             progress_cmd; shape_cmd; lint_cmd; all_cmd;
           ]))

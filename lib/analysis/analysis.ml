@@ -31,11 +31,12 @@ let pp_finding = Lint_rules.pp_finding
 
 let static_rules =
   [ "lock-order"; "lock-leak"; "stale-publish"; "post-publish-mutation";
-    "static-retry"; "parse" ]
+    "static-retry"; "static-deadline"; "parse" ]
 
 let token_rules =
   [ "boundary"; "mutable-atomic"; "dirty-spin"; "cas-discard";
-    "retry-no-backoff"; "alloc-in-retry"; "format"; "waiver" ]
+    "retry-no-backoff"; "deadline-blind"; "alloc-in-retry"; "format";
+    "waiver" ]
 
 (* The AST findings for a set of implementation sources, keyed by file.
    Exempt paths contribute summaries but never findings. *)

@@ -167,8 +167,106 @@ module Make (R : Runtime.S) = struct
   let cpu_relax = R.cpu_relax
   let self = R.self
   let rand_int = R.rand_int
+  let monotonic_ns = R.monotonic_ns
 end
 
-(* The wrapped module really is a runtime; catch drift here, not at
+exception Killed
+
+(** Cooperative fault injection for {e real} domains, where the simulator's
+    crash plans cannot reach. [Real (R)] is a {!Runtime.S} whose atomic
+    operations count accesses per registered victim; arming a fault makes
+    the victim's k-th counted access either raise {!Killed} {e before} the
+    access happens (the domain dies mid-operation, exactly as a crashed
+    thread would leave shared state), or park in a [cpu_relax] loop until
+    {!Real.release} (a stalled-but-alive holder, for exercising lease
+    revocation).
+
+    The access is {e not} performed when the fault fires, matching the
+    simulator's crash-plan semantics ("charged but not performed"). Arming
+    is keyed on thread id, so the driver can aim at one victim while
+    survivor domains run unperturbed through the same functor
+    application. *)
+module Real (R : Runtime.S) = struct
+  type arm = { victim : int; after : int; kill : bool }
+
+  let armed : arm option R.Atomic.t = R.Atomic.make None
+
+  (* counted accesses by the current victim since arming *)
+  let count = R.Atomic.make 0
+
+  (* the fault fired: the victim raised Killed or entered the stall loop *)
+  let tripped = R.Atomic.make false
+
+  let released = R.Atomic.make false
+
+  let arm ~kill ~victim ~after =
+    R.Atomic.set count 0;
+    R.Atomic.set tripped false;
+    R.Atomic.set released false;
+    R.Atomic.set armed (Some { victim; after; kill })
+
+  let arm_kill = arm ~kill:true
+
+  let arm_stall = arm ~kill:false
+
+  let release () = R.Atomic.set released true
+
+  let fired () = R.Atomic.get tripped
+
+  let reset () =
+    R.Atomic.set armed None;
+    R.Atomic.set released false;
+    R.Atomic.set tripped false;
+    R.Atomic.set count 0
+
+  let tick () =
+    match R.Atomic.get armed with
+    | None -> ()
+    | Some a when R.self () = a.victim ->
+        if R.Atomic.fetch_and_add count 1 + 1 = a.after then begin
+          R.Atomic.set tripped true;
+          if a.kill then raise Killed
+          else
+            while not (R.Atomic.get released) do
+              R.cpu_relax ()
+            done
+        end
+    | Some _ -> ()
+
+  module Atomic = struct
+    type 'a t = 'a R.Atomic.t
+
+    let make = R.Atomic.make
+
+    let get r =
+      tick ();
+      R.Atomic.get r
+
+    let set r v =
+      tick ();
+      R.Atomic.set r v
+
+    let compare_and_set r expected v =
+      let () = tick () in
+      R.Atomic.compare_and_set r expected v
+
+    let exchange r v =
+      tick ();
+      R.Atomic.exchange r v
+
+    let fetch_and_add r n =
+      tick ();
+      R.Atomic.fetch_and_add r n
+  end
+
+  let cpu_relax = R.cpu_relax
+  let self = R.self
+  let rand_int = R.rand_int
+  let monotonic_ns = R.monotonic_ns
+end
+
+(* The wrapped modules really are runtimes; catch drift here, not at
    every instantiation site. *)
 module Check (R : Runtime.S) : Runtime.S = Make (R)
+
+module Check_real (R : Runtime.S) : Runtime.S = Real (R)

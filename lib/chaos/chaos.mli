@@ -62,3 +62,32 @@ module Make (R : Runtime.S) : sig
 
   val reset_counters : unit -> unit
 end
+
+exception Killed
+(** Raised inside a victim thread by {!Real} when an armed kill fires. *)
+
+(** Cooperative fault injection for real domains. [Real (R)] counts the
+    registered victim's atomic accesses and, at the armed k-th access,
+    either raises {!Killed} before performing it (crash-stop mid-op) or
+    parks the victim in a [cpu_relax] loop until {!Real.release} (a
+    stalled-but-alive lock holder). Survivor threads pass through
+    untouched. One functor application holds one armed fault. *)
+module Real (R : Runtime.S) : sig
+  include Runtime.S with type 'a Atomic.t = 'a R.Atomic.t
+
+  val arm_kill : victim:int -> after:int -> unit
+  (** Make [victim]'s [after]-th counted access raise {!Killed} instead of
+      executing. *)
+
+  val arm_stall : victim:int -> after:int -> unit
+  (** Make [victim]'s [after]-th counted access park until {!release}. *)
+
+  val release : unit -> unit
+  (** Unpark a stalled victim. *)
+
+  val fired : unit -> bool
+  (** Whether the armed fault has fired. *)
+
+  val reset : unit -> unit
+  (** Disarm and clear all fault state. *)
+end

@@ -12,6 +12,19 @@ module type ORDERED = sig
   val compare : t -> t -> int
 end
 
+(** Result of a deadline- or admission-aware operation. [Timeout] means
+    the operation observed its deadline expire before it could complete
+    and gave up without taking effect; [Rejected] means an admission
+    policy (capacity watermark, try-lock miss) refused it outright.
+    Either way the queue is unchanged as far as the caller's element is
+    concerned. *)
+type 'a outcome = Ok of 'a | Timeout | Rejected
+
+(** Deadlines are absolute [Runtime.S.monotonic_ns] stamps; this sentinel
+    means "no deadline", and retry loops short-circuit on it so the
+    unbounded paths never read the clock. *)
+let no_deadline = max_int
+
 (** The operations every priority queue in this repository provides. *)
 module type CORE = sig
   type elt
@@ -58,6 +71,23 @@ module type MOUND = sig
       a node that accommodates the whole batch, and falling back to
       element-wise insertion otherwise. The dual of {!extract_many};
       behaviour is unspecified if [batch] is not sorted. *)
+
+  val try_insert : t -> elt -> bool
+  (** [try_insert t v] attempts one bounded insertion pass and returns
+      whether it took effect: no unbounded retrying, no blocking on locks.
+      The overload front-end ([Bounded]) uses it to keep admission cheap
+      when the structure is contended. *)
+
+  val insert_until : t -> deadline:int -> elt -> unit outcome
+  (** [insert_until t ~deadline v] inserts [v], giving up with [Timeout]
+      once [Runtime.S.monotonic_ns] passes the absolute [deadline].
+      [deadline = no_deadline] never times out. A [Timeout] guarantees [v]
+      was not published. *)
+
+  val extract_min_until : t -> deadline:int -> (elt option) outcome
+  (** Deadline-checking {!extract_min}: [Ok None] is an observed empty
+      mound, [Timeout] means the retry/lock loop outlived [deadline]
+      without extracting (nothing was removed). *)
 
   val extract_approx : ?max_level:int -> t -> elt option
   (** [extract_approx t] extracts the minimum of a {e random sub-mound}

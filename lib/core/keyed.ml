@@ -59,6 +59,35 @@ module Make (P : Intf.ORDERED) (K : Hashtbl.HashedType) = struct
             Some (k, p)
         | _ -> pop_min t (* stale entry superseded by a decrease_key *))
 
+  (** [try_insert]: {!insert}'s result already distinguishes "changed"
+      from "refused" (a worse priority), so the try variant is the same
+      operation under the front-end's expected name. *)
+  let try_insert = insert
+
+  (** Deadline-checking {!pop_min} for churn-heavy workloads: lazy
+      deletion makes a single pop O(S log N) in the number of stale
+      entries [S], so under decrease-key storms even the sequential map
+      can blow a latency budget. The deadline ([Runtime.Real.monotonic_ns]
+      stamp; [Intf.no_deadline] never expires) is checked between stale
+      drops — a fresh head is returned even if it arrives late, so
+      [Timeout] always means "gave up while discarding stale entries",
+      with the discarded entries genuinely stale (no element is lost). *)
+  let rec pop_min_until t ~deadline =
+    match Q.extract_min t.queue with
+    | None -> Intf.Ok None
+    | Some (p, k) -> (
+        match H.find_opt t.best k with
+        | Some cur when P.compare cur p = 0 ->
+            H.remove t.best k;
+            Intf.Ok (Some (k, p))
+        | _ ->
+            (* stale entry superseded by a decrease_key *)
+            if
+              deadline <> Intf.no_deadline
+              && Runtime.Real.monotonic_ns () > deadline
+            then Intf.Timeout
+            else pop_min_until t ~deadline)
+
   let rec peek_min t =
     match Q.peek_min t.queue with
     | None -> None

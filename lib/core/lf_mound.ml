@@ -139,6 +139,15 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
        && M.get pslot == parent
        && dcss_reusing pslot parent cslot cur fresh
 
+  (* ----- deadlines ----- *)
+
+  (* Absolute [R.monotonic_ns] stamp; [Intf.no_deadline] short-circuits
+     so the unbounded paths never read the clock. *)
+  let expired ~deadline =
+    deadline <> Intf.no_deadline && R.monotonic_ns () > deadline
+
+  let bump_timeout t = t.ops.deadline_timeouts <- t.ops.deadline_timeouts + 1
+
   (* ----- insert ----- *)
 
   (* After this many failed candidate selections, stop re-rolling random
@@ -165,7 +174,7 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
      loop — the candidate-validation predicate does not change across
      attempts, so there is no reason to allocate a fresh closure on
      every retry. *)
-  let rec insert_attempt t v ~ge round =
+  let rec insert_attempt t v ~ge ~deadline round =
     let c, clvl =
       if round < max_insert_rounds then T.find_insert_point_lv t.tree ~ge
       else begin
@@ -184,7 +193,8 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
       let fresh = { list = v :: cur.list; dirty = cur.dirty; seq = cur.seq + 1 } in
       if c = 1 then begin
         (* Root insert linearizes with a plain CAS (L9–L10). *)
-        if not (cas_reusing cslot cur fresh) then insert_retry t v ~ge round
+        if cas_reusing cslot cur fresh then Intf.Ok ()
+        else insert_retry t v ~ge ~deadline round
       end
       else begin
         let pslot = T.get_at t.tree ~level:(clvl - 1) (c / 2) in
@@ -192,28 +202,67 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
         if Intf.Value.le_elt Ord.compare (node_value parent) v then begin
           (* DCSS: write the child only if the parent is unchanged
              (L12–L14). *)
-          if not (dcss_reusing pslot parent cslot cur fresh) then
-            insert_retry t v ~ge round
+          if dcss_reusing pslot parent cslot cur fresh then Intf.Ok ()
+          else insert_retry t v ~ge ~deadline round
         end
-        else insert_retry t v ~ge round
+        else insert_retry t v ~ge ~deadline round
       end
     end
-    else insert_retry t v ~ge round
+    else insert_retry t v ~ge ~deadline round
 
   (* A first failure retries immediately (benign race, exactly the
      paper's loop); sustained failure backs off exponentially so
-     contending inserters spread out instead of re-colliding. *)
-  and insert_retry t v ~ge round =
+     contending inserters spread out instead of re-colliding. A deadline
+     is checked here, between attempts, so a [Timeout] can only be
+     returned with the element unpublished. *)
+  and insert_retry t v ~ge ~deadline round =
     t.ops.insert_retries <- t.ops.insert_retries + 1;
-    if round > 0 then begin
-      t.ops.insert_backoffs <- t.ops.insert_backoffs + 1;
-      B.exponential ~cap_bits:6 (round - 1)
-    end;
-    insert_attempt t v ~ge (round + 1)
+    if expired ~deadline then begin
+      bump_timeout t;
+      Intf.Timeout
+    end
+    else begin
+      if round > 0 then begin
+        t.ops.insert_backoffs <- t.ops.insert_backoffs + 1;
+        B.exponential ~cap_bits:6 (round - 1)
+      end;
+      insert_attempt t v ~ge ~deadline (round + 1)
+    end
 
   let insert t v =
     let ge i = Intf.Value.ge_elt Ord.compare (node_value (read t i)) v in
-    insert_attempt t v ~ge 0
+    match insert_attempt t v ~ge ~deadline:Intf.no_deadline 0 with
+    | Intf.Ok () -> ()
+    | Timeout | Rejected -> assert false (* no deadline, no admission *)
+
+  let insert_until t ~deadline v =
+    let ge i = Intf.Value.ge_elt Ord.compare (node_value (read t i)) v in
+    insert_attempt t v ~ge ~deadline 0
+
+  (** One bounded publication pass: probe, validate, and attempt the
+      linearizing CAS/DCSS once (re-issuing only while the location is
+      observably unchanged, i.e. on spurious weak-CAS failure). Any real
+      interference reports [false] instead of retrying. *)
+  let try_insert t v =
+    let ge i = Intf.Value.ge_elt Ord.compare (node_value (read t i)) v in
+    let c, clvl = T.find_insert_point_lv t.tree ~ge in
+    let cslot = T.get_at t.tree ~level:clvl c in
+    let cur = M.get cslot in
+    let ok =
+      Intf.Value.ge_elt Ord.compare (node_value cur) v
+      &&
+      let fresh =
+        { list = v :: cur.list; dirty = cur.dirty; seq = cur.seq + 1 }
+      in
+      if c = 1 then cas_reusing cslot cur fresh
+      else
+        let pslot = T.get_at t.tree ~level:(clvl - 1) (c / 2) in
+        let parent = M.get pslot in
+        Intf.Value.le_elt Ord.compare (node_value parent) v
+        && dcss_reusing pslot parent cslot cur fresh
+    in
+    if not ok then t.ops.rejected <- t.ops.rejected + 1;
+    ok
 
   (** Alternative insert for the ablation study: the paper's §III-D opens
       with "the simplest technique for making insert lock-free is to use a
@@ -336,33 +385,47 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
     if spin = near_miss_spins then
       t.ops.livelock_near_misses <- t.ops.livelock_near_misses + 1
 
-  let rec extract_min_spin t spin =
+  let rec extract_min_spin t ~deadline spin =
     bump_near_miss t spin;
-    let slot = T.get_at t.tree ~level:0 1 in
-    let root = M.get slot in
-    if root.dirty then begin
-      (* An extraction is mid-flight; help restore the property (L24–L26). *)
-      t.ops.helps <- t.ops.helps + 1;
-      moundify t 1 ~level:0;
-      extract_min_spin t (spin + 1)
+    if spin > 0 && expired ~deadline then begin
+      (* checked only on retry iterations: the first attempt always
+         runs, so a generous deadline never turns into a spurious
+         [Timeout], and nothing has been removed when we give up *)
+      bump_timeout t;
+      Intf.Timeout
     end
     else
-      match root.list with
-      | [] -> None (* L27: linearizes at the root READ *)
-      | hd :: tl ->
-          if
-            cas_reusing slot root
-              { list = tl; dirty = true; seq = root.seq + 1 }
-          then begin
-            moundify t 1 ~level:0;
-            Some hd
-          end
-          else begin
-            t.ops.extract_retries <- t.ops.extract_retries + 1;
-            extract_min_spin t (spin + 1)
-          end
+      let slot = T.get_at t.tree ~level:0 1 in
+      let root = M.get slot in
+      if root.dirty then begin
+        (* An extraction is mid-flight; help restore the property
+           (L24–L26). *)
+        t.ops.helps <- t.ops.helps + 1;
+        moundify t 1 ~level:0;
+        extract_min_spin t ~deadline (spin + 1)
+      end
+      else
+        match root.list with
+        | [] -> Intf.Ok None (* L27: linearizes at the root READ *)
+        | hd :: tl ->
+            if
+              cas_reusing slot root
+                { list = tl; dirty = true; seq = root.seq + 1 }
+            then begin
+              moundify t 1 ~level:0;
+              Intf.Ok (Some hd)
+            end
+            else begin
+              t.ops.extract_retries <- t.ops.extract_retries + 1;
+              extract_min_spin t ~deadline (spin + 1)
+            end
 
-  let extract_min t = extract_min_spin t 0
+  let extract_min t =
+    match extract_min_spin t ~deadline:Intf.no_deadline 0 with
+    | Intf.Ok r -> r
+    | Timeout | Rejected -> assert false (* no deadline, no admission *)
+
+  let extract_min_until t ~deadline = extract_min_spin t ~deadline 0
 
   (** Take the root's whole sorted list in one linearizable step (§V):
       the same protocol as [extract_min], with the list emptied rather

@@ -1,11 +1,11 @@
 (** Fine-grained locking mound (paper §IV, Listing 3).
 
-    Each node is an atomic holding an immutable [{list; locked}] record —
-    the paper reuses the dirty field as the lock bit, and unlocked nodes
-    are never dirty, so no dirty flag or sequence counter is needed.
-    [set_lock] is a test-and-CAS spinlock on the node; unlocking is a
-    plain store of a fresh unlocked record, valid because only the lock
-    holder writes a locked node.
+    Each node is an atomic holding an immutable [{list; locked; seq}]
+    record — the paper reuses the dirty field as the lock bit, and
+    unlocked nodes are never dirty. [set_lock] is a test-and-CAS spinlock
+    on the node; the [seq] stamp increments on every transition, so each
+    lock tenure is identified by the physically-unique locked record the
+    holder installed (its {e witness}).
 
     [moundify] performs the downward restoration with hand-over-hand
     locking, always locking parents before children; [insert] locks the
@@ -13,24 +13,56 @@
     global order, which makes the scheme deadlock-free. Compared with the
     lock-free variant, a critical section that would take one software
     DCAS (≈5 CAS) costs at most three plain CAS acquisitions here —
-    the latency advantage the paper measures. *)
+    the latency advantage the paper measures.
+
+    {2 Lease-based wedge recovery}
+
+    A thread that dies holding a lock wedges every future operation that
+    needs that node — the failure mode the paper's lock-freedom argument
+    is about. With [create ~lease], a spinner that observes the {e same}
+    witness record locked for longer than the lease presumes the holder
+    dead and revokes the lock: it CASes the witness to a fresh locked
+    record of its own, restores the mound property below the node (the
+    holder may have died mid-protocol), and then competes for the lock
+    normally. Revocation is safe against slow-but-alive holders because
+    every write a holder makes to a held node is a CAS against its
+    witness — once revoked, those CASes fail and the holder abandons the
+    node (an unpublished insert retries; a torn moundify swap is repaired
+    by the revoker's own moundify).
+
+    Recovery restores availability and the heap property in bounded
+    time. It does {e not} make the locking mound crash-tolerant: a holder
+    that dies at certain interior moundify points can leave an element
+    duplicated or dropped — inherent to blocking designs, and exactly the
+    contrast with the lock-free variant that the paper draws. The lease
+    defaults to off, preserving the classic blocking behaviour. *)
 
 module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
   module T = Tree.Make (R)
 
   type elt = Ord.t
 
-  type lnode = { list : elt list; locked : bool }
+  type lnode = { list : elt list; locked : bool; seq : int }
 
-  type t = { tree : lnode R.Atomic.t T.t; ops : Stats.Ops.t }
+  type t = {
+    tree : lnode R.Atomic.t T.t;
+    ops : Stats.Ops.t;
+    lease : int;
+        (** ns (virtual time under the simulator) a lock may be held
+            before spinners may revoke it; 0 disables revocation *)
+  }
 
   let vcompare = Intf.Value.compare Ord.compare
 
   let node_value n = match n.list with [] -> None | x :: _ -> Some x
 
-  let create ?threshold ?init_depth () =
-    let make_slot () = R.Atomic.make { list = []; locked = false } in
-    { tree = T.create ?threshold ?init_depth make_slot; ops = Stats.Ops.create () }
+  let create ?threshold ?init_depth ?(lease = 0) () =
+    let make_slot () = R.Atomic.make { list = []; locked = false; seq = 0 } in
+    {
+      tree = T.create ?threshold ?init_depth make_slot;
+      ops = Stats.Ops.create ();
+      lease;
+    }
 
   (** Spin / retry counters since creation. Exact and deterministic
       under the simulator; racy (diagnostic) on real domains. *)
@@ -38,161 +70,358 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   let depth t = T.depth t.tree
 
+  let expired ~deadline =
+    deadline <> Intf.no_deadline && R.monotonic_ns () > deadline
+
+  let bump_timeout t = t.ops.deadline_timeouts <- t.ops.deadline_timeouts + 1
+
+  (* Every write to a held node goes through the witness the holder
+     installed. Without a lease nobody can revoke us, so the plain store
+     of the classic algorithm is kept; with a lease the write must CAS
+     against the witness — failure means a recoverer revoked the lock and
+     the node is no longer ours to touch. *)
+  let restamp t slot ~witness fresh =
+    if t.lease = 0 then begin
+      R.Atomic.set slot fresh;
+      true
+    end
+    else R.Atomic.compare_and_set slot witness fresh
+
+  let unlock t slot ~witness list =
+    restamp t slot ~witness { list; locked = false; seq = witness.seq + 1 }
+
   (* Consecutive failed acquisitions of one [set_lock] call before the
      wait is counted as a livelock near miss (sustained non-progress that
      eventually resolved — the dynamic shadow of the liveness checker). *)
   let near_miss_spins = 64
 
-  (* Spin until the node is acquired; returns the contents observed at
-     acquisition time (paper F1–F4). *)
-  let set_lock t slot =
-    let rec spin tries =
+  (* Spin until the node is acquired, honouring [deadline] and — when a
+     lease is set — revoking holders that exceed it. Returns the locked
+     record we installed (the witness), or [None] on deadline expiry.
+     [node]/[level] locate the slot in the tree so an expired-lease
+     takeover can restore the mound property below it (paper F1–F4, plus
+     recovery). *)
+  let rec set_lock_until t slot ~node ~level ~deadline =
+    (* [seen]/[since]: the first observation of the current holder's
+       witness and our clock at that observation — the lease timer. A
+       different record restarts the timer (a new tenure began). *)
+    let rec spin tries seen since =
       let n = R.Atomic.get slot in
-      if
-        (not n.locked)
-        && R.Atomic.compare_and_set slot n { list = n.list; locked = true }
-      then n
+      if not n.locked then begin
+        let mine = { list = n.list; locked = true; seq = n.seq + 1 } in
+        if R.Atomic.compare_and_set slot n mine then Some mine
+        else miss tries seen since
+      end
+      else if t.lease > 0 then begin
+        let now = R.monotonic_ns () in
+        match seen with
+        | Some w when w == n ->
+            if now - since > t.lease then begin
+              (* Holder exceeded its lease: presume it dead and take the
+                 lock directly from its witness. The CAS is the whole
+                 revocation — from here on the old holder's witnessed
+                 writes all fail. *)
+              let mine = { list = n.list; locked = true; seq = n.seq + 1 } in
+              if R.Atomic.compare_and_set slot n mine then begin
+                t.ops.lock_recoveries <- t.ops.lock_recoveries + 1;
+                (* The holder may have died mid-protocol; restore the
+                   mound property below this node (which also releases
+                   it), then compete for the lock normally. *)
+                moundify t node ~level ~witness:mine;
+                spin tries None 0
+              end
+              else miss tries seen since
+            end
+            else miss tries seen since
+        | _ -> miss tries (Some n) now
+      end
+      else miss tries seen since
+    and miss tries seen since =
+      t.ops.lock_spins <- t.ops.lock_spins + 1;
+      if tries = near_miss_spins then
+        t.ops.livelock_near_misses <- t.ops.livelock_near_misses + 1;
+      if expired ~deadline then None
       else begin
-        t.ops.lock_spins <- t.ops.lock_spins + 1;
-        if tries = near_miss_spins then
-          t.ops.livelock_near_misses <- t.ops.livelock_near_misses + 1;
         R.cpu_relax ();
-        spin (tries + 1)
+        spin (tries + 1) seen since
       end
     in
-    spin 0
+    spin 0 None 0
 
-  let unlock slot list = R.Atomic.set slot { list; locked = false }
+  and set_lock t slot ~node ~level =
+    match set_lock_until t slot ~node ~level ~deadline:Intf.no_deadline with
+    | Some w -> w
+    | None -> assert false (* no deadline: the spin never gives up *)
 
-  (* Precondition: the caller holds the lock on [n], whose current list
-     is [nlist], and [level] is ⌊log₂ n⌋ — the traversal always knows it
-     (the root is level 0, children one deeper), so slots are fetched
-     with [get_at] instead of recomputing the level per access. Restores
-     the mound property below [n] and releases every lock it takes,
-     including [n]'s (paper F14–F35). *)
-  let rec moundify t n ~level nlist =
+  (* Precondition: the caller holds the lock on [n] via [witness], and
+     [level] is ⌊log₂ n⌋ — the traversal always knows it (the root is
+     level 0, children one deeper), so slots are fetched with [get_at]
+     instead of recomputing the level per access. Restores the mound
+     property below [n] and releases every lock it takes, including
+     [n]'s (paper F14–F35). A witnessed write that fails means the lease
+     recoverer revoked us; the node is abandoned and the revoker's own
+     moundify repairs it. *)
+  and moundify t n ~level ~witness =
     let slot = T.get_at t.tree ~level n in
+    let nlist = witness.list in
     let d = T.depth t.tree in
-    if T.is_leaf n ~depth:d then unlock slot nlist
+    if T.is_leaf n ~depth:d then ignore (unlock t slot ~witness nlist)
     else begin
       let lslot = T.get_at t.tree ~level:(level + 1) (2 * n)
       and rslot = T.get_at t.tree ~level:(level + 1) ((2 * n) + 1) in
-      let left = set_lock t lslot in
-      let right = set_lock t rslot in
+      let wl = set_lock t lslot ~node:(2 * n) ~level:(level + 1) in
+      let wr = set_lock t rslot ~node:((2 * n) + 1) ~level:(level + 1) in
       let vn = match nlist with [] -> None | x :: _ -> Some x
-      and vl = node_value left
-      and vr = node_value right in
+      and vl = node_value wl
+      and vr = node_value wr in
       if vcompare vl vr <= 0 && vcompare vl vn < 0 then begin
-        unlock rslot right.list;
-        unlock slot left.list;
-        (* The left child keeps our old list and stays locked while we
-           recurse into it — hand-over-hand. *)
-        R.Atomic.set lslot { list = nlist; locked = true };
-        moundify t (2 * n) ~level:(level + 1) nlist
+        (* Swap lists with the left child, which keeps our old list and
+           stays locked while we recurse into it — hand-over-hand. The
+           child is re-stamped first so that if our own lock on [n] has
+           been revoked, the swap aborts with both lists intact. *)
+        let wl' = { list = nlist; locked = true; seq = wl.seq + 1 } in
+        if restamp t lslot ~witness:wl wl' then begin
+          ignore (unlock t rslot ~witness:wr wr.list);
+          ignore (unlock t slot ~witness wl.list);
+          moundify t (2 * n) ~level:(level + 1) ~witness:wl'
+        end
+        else begin
+          ignore (unlock t rslot ~witness:wr wr.list);
+          ignore (unlock t slot ~witness nlist)
+        end
       end
       else if vcompare vr vl < 0 && vcompare vr vn < 0 then begin
-        unlock lslot left.list;
-        unlock slot right.list;
-        R.Atomic.set rslot { list = nlist; locked = true };
-        moundify t ((2 * n) + 1) ~level:(level + 1) nlist
+        let wr' = { list = nlist; locked = true; seq = wr.seq + 1 } in
+        if restamp t rslot ~witness:wr wr' then begin
+          ignore (unlock t lslot ~witness:wl wl.list);
+          ignore (unlock t slot ~witness wr.list);
+          moundify t ((2 * n) + 1) ~level:(level + 1) ~witness:wr'
+        end
+        else begin
+          ignore (unlock t lslot ~witness:wl wl.list);
+          ignore (unlock t slot ~witness nlist)
+        end
       end
       else begin
-        unlock slot nlist;
-        unlock lslot left.list;
-        unlock rslot right.list
+        ignore (unlock t slot ~witness nlist);
+        ignore (unlock t lslot ~witness:wl wl.list);
+        ignore (unlock t rslot ~witness:wr wr.list)
       end
     end
 
-  let extract_min t =
+  let rec extract_min_until t ~deadline =
     let slot = T.get_at t.tree ~level:0 1 in
-    let root = set_lock t slot in
-    match root.list with
-    | [] ->
-        unlock slot [];
-        None
-    | hd :: tl ->
-        (* Remove the head, keep the root locked, and let moundify release
-           it (F9–F12). *)
-        R.Atomic.set slot { list = tl; locked = true };
-        moundify t 1 ~level:0 tl;
-        Some hd
+    match set_lock_until t slot ~node:1 ~level:0 ~deadline with
+    | None ->
+        bump_timeout t;
+        Intf.Timeout
+    | Some w -> (
+        match w.list with
+        | [] ->
+            ignore (unlock t slot ~witness:w []);
+            Intf.Ok None
+        | hd :: tl ->
+            (* Remove the head, keep the root locked, and let moundify
+               release it (F9–F12). *)
+            let w' = { list = tl; locked = true; seq = w.seq + 1 } in
+            if restamp t slot ~witness:w w' then begin
+              moundify t 1 ~level:0 ~witness:w';
+              Intf.Ok (Some hd)
+            end
+            else begin
+              (* revoked between acquisition and behead: nothing removed *)
+              t.ops.extract_retries <- t.ops.extract_retries + 1;
+              if expired ~deadline then begin
+                bump_timeout t;
+                Intf.Timeout
+              end
+              else extract_min_until t ~deadline
+            end)
+
+  let extract_min t =
+    match extract_min_until t ~deadline:Intf.no_deadline with
+    | Intf.Ok r -> r
+    | Timeout | Rejected -> assert false (* no deadline, no admission *)
 
   (** Take the root's entire list (§V): identical protocol with the list
       emptied instead of beheaded. *)
-  let extract_many t =
+  let rec extract_many t =
     let slot = T.get_at t.tree ~level:0 1 in
-    let root = set_lock t slot in
-    match root.list with
+    let w = set_lock t slot ~node:1 ~level:0 in
+    match w.list with
     | [] ->
-        unlock slot [];
+        ignore (unlock t slot ~witness:w []);
         []
     | taken ->
-        R.Atomic.set slot { list = []; locked = true };
-        moundify t 1 ~level:0 [];
-        taken
+        let w' = { list = []; locked = true; seq = w.seq + 1 } in
+        if restamp t slot ~witness:w w' then begin
+          moundify t 1 ~level:0 ~witness:w';
+          taken
+        end
+        else begin
+          t.ops.extract_retries <- t.ops.extract_retries + 1;
+          extract_many t
+        end
 
   (** Probabilistic extract-min (§V): lock a random node within the first
       [max_level+1] levels and extract its head, which is the minimum of
       the sub-mound rooted there. Falls back to the exact operation on an
       empty probe. *)
-  let extract_approx ?(max_level = 2) t =
+  let rec extract_approx ?(max_level = 2) t =
     let d = T.depth t.tree in
     let lvl = min max_level (d - 1) in
     let span = (1 lsl (lvl + 1)) - 1 in
     let n = 1 + R.rand_int span in
     let nlvl = T.level_of n in
     let slot = T.get_at t.tree ~level:nlvl n in
-    let node = set_lock t slot in
-    match node.list with
+    let w = set_lock t slot ~node:n ~level:nlvl in
+    match w.list with
     | [] ->
-        unlock slot [];
+        ignore (unlock t slot ~witness:w []);
         extract_min t
     | hd :: tl ->
-        R.Atomic.set slot { list = tl; locked = true };
-        moundify t n ~level:nlvl tl;
-        Some hd
+        let w' = { list = tl; locked = true; seq = w.seq + 1 } in
+        if restamp t slot ~witness:w w' then begin
+          moundify t n ~level:nlvl ~witness:w';
+          Some hd
+        end
+        else begin
+          t.ops.extract_retries <- t.ops.extract_retries + 1;
+          extract_approx ~max_level t
+        end
 
   (* [ge] is built once per [insert] call and reused across retries —
      the validation predicate does not change, so no fresh closure per
-     attempt. *)
-  let rec insert_attempt t v ~ge =
+     attempt. The deadline bounds both the lock waits and the
+     revalidation retries; [Timeout] guarantees [v] was not published. *)
+  let rec insert_attempt t v ~ge ~deadline =
+    let retry () =
+      t.ops.insert_retries <- t.ops.insert_retries + 1;
+      if expired ~deadline then begin
+        bump_timeout t;
+        Intf.Timeout
+      end
+      else insert_attempt t v ~ge ~deadline
+    in
     let c, clvl = T.find_insert_point_lv t.tree ~ge in
     let cslot = T.get_at t.tree ~level:clvl c in
-    if c = 1 then begin
-      let root = set_lock t cslot in
-      if Intf.Value.ge_elt Ord.compare (node_value root) v then
-        unlock cslot (v :: root.list)
-      else begin
-        unlock cslot root.list;
-        t.ops.insert_retries <- t.ops.insert_retries + 1;
-        insert_attempt t v ~ge
-      end
-    end
+    if c = 1 then
+      match set_lock_until t cslot ~node:1 ~level:0 ~deadline with
+      | None ->
+          bump_timeout t;
+          Intf.Timeout
+      | Some w ->
+          if Intf.Value.ge_elt Ord.compare (node_value w) v then
+            if unlock t cslot ~witness:w (v :: w.list) then Intf.Ok ()
+            else retry () (* revoked before publication: not inserted *)
+          else begin
+            ignore (unlock t cslot ~witness:w w.list);
+            retry ()
+          end
     else begin
       (* Parent before child, matching moundify's order (F45–F46). *)
       let pslot = T.get_at t.tree ~level:(clvl - 1) (c / 2) in
-      let parent = set_lock t pslot in
-      let child = set_lock t cslot in
-      if
-        Intf.Value.ge_elt Ord.compare (node_value child) v
-        && Intf.Value.le_elt Ord.compare (node_value parent) v
-      then begin
-        unlock cslot (v :: child.list);
-        unlock pslot parent.list
-      end
-      else begin
-        unlock pslot parent.list;
-        unlock cslot child.list;
-        t.ops.insert_retries <- t.ops.insert_retries + 1;
-        insert_attempt t v ~ge
-      end
+      match set_lock_until t pslot ~node:(c / 2) ~level:(clvl - 1) ~deadline with
+      | None ->
+          bump_timeout t;
+          Intf.Timeout
+      | Some wp -> (
+          match set_lock_until t cslot ~node:c ~level:clvl ~deadline with
+          | None ->
+              ignore (unlock t pslot ~witness:wp wp.list);
+              bump_timeout t;
+              Intf.Timeout
+          | Some wc ->
+              if
+                Intf.Value.ge_elt Ord.compare (node_value wc) v
+                && Intf.Value.le_elt Ord.compare (node_value wp) v
+              then begin
+                let published = unlock t cslot ~witness:wc (v :: wc.list) in
+                ignore (unlock t pslot ~witness:wp wp.list);
+                if published then Intf.Ok () else retry ()
+              end
+              else begin
+                ignore (unlock t pslot ~witness:wp wp.list);
+                ignore (unlock t cslot ~witness:wc wc.list);
+                retry ()
+              end)
     end
 
   let insert t v =
     let ge i =
       Intf.Value.ge_elt Ord.compare (node_value (R.Atomic.get (T.get t.tree i))) v
     in
-    insert_attempt t v ~ge
+    match insert_attempt t v ~ge ~deadline:Intf.no_deadline with
+    | Intf.Ok () -> ()
+    | Timeout | Rejected -> assert false (* no deadline, no admission *)
+
+  let insert_until t ~deadline v =
+    let ge i =
+      Intf.Value.ge_elt Ord.compare (node_value (R.Atomic.get (T.get t.tree i))) v
+    in
+    insert_attempt t v ~ge ~deadline
+
+  (* Single acquisition attempt: no spinning, no lease accounting. *)
+  let try_lock t slot =
+    let n = R.Atomic.get slot in
+    if n.locked then begin
+      t.ops.lock_spins <- t.ops.lock_spins + 1;
+      None
+    end
+    else
+      let mine = { list = n.list; locked = true; seq = n.seq + 1 } in
+      if R.Atomic.compare_and_set slot n mine then Some mine
+      else begin
+        t.ops.lock_spins <- t.ops.lock_spins + 1;
+        None
+      end
+
+  (** One bounded pass with try-locks: probe once, acquire without
+      spinning, publish or report [false]. Never blocks behind a held
+      lock — the admission path the bounded front-end uses. *)
+  let try_insert t v =
+    let ge i =
+      Intf.Value.ge_elt Ord.compare (node_value (R.Atomic.get (T.get t.tree i))) v
+    in
+    let c, clvl = T.find_insert_point_lv t.tree ~ge in
+    let cslot = T.get_at t.tree ~level:clvl c in
+    let ok =
+      if c = 1 then
+        match try_lock t cslot with
+        | None -> false
+        | Some w ->
+            if Intf.Value.ge_elt Ord.compare (node_value w) v then
+              unlock t cslot ~witness:w (v :: w.list)
+            else begin
+              ignore (unlock t cslot ~witness:w w.list);
+              false
+            end
+      else
+        let pslot = T.get_at t.tree ~level:(clvl - 1) (c / 2) in
+        match try_lock t pslot with
+        | None -> false
+        | Some wp -> (
+            match try_lock t cslot with
+            | None ->
+                ignore (unlock t pslot ~witness:wp wp.list);
+                false
+            | Some wc ->
+                if
+                  Intf.Value.ge_elt Ord.compare (node_value wc) v
+                  && Intf.Value.le_elt Ord.compare (node_value wp) v
+                then begin
+                  let published = unlock t cslot ~witness:wc (v :: wc.list) in
+                  ignore (unlock t pslot ~witness:wp wp.list);
+                  published
+                end
+                else begin
+                  ignore (unlock t pslot ~witness:wp wp.list);
+                  ignore (unlock t cslot ~witness:wc wc.list);
+                  false
+                end)
+    in
+    if not ok then t.ops.rejected <- t.ops.rejected + 1;
+    ok
 
   (* Longest prefix of the sorted batch fitting under [limit] ([None] is
      ⊤), paired with the remainder — same shape as the other variants. *)
@@ -229,35 +458,36 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
             let c, clvl = T.find_insert_point_lv t.tree ~ge in
             let cslot = T.get_at t.tree ~level:clvl c in
             if c = 1 then begin
-              let root = set_lock t cslot in
-              let limit = node_value root in
+              let w = set_lock t cslot ~node:1 ~level:0 in
+              let limit = node_value w in
               if Intf.Value.ge_elt Ord.compare limit hd then begin
                 let prefix, rest = split_prefix limit [] batch in
-                unlock cslot (prefix @ root.list);
-                go rest batch_tries
+                if unlock t cslot ~witness:w (prefix @ w.list) then
+                  go rest batch_tries
+                else go batch (tries - 1)
               end
               else begin
-                unlock cslot root.list;
+                ignore (unlock t cslot ~witness:w w.list);
                 go batch (tries - 1)
               end
             end
             else begin
               let pslot = T.get_at t.tree ~level:(clvl - 1) (c / 2) in
-              let parent = set_lock t pslot in
-              let child = set_lock t cslot in
-              let limit = node_value child in
+              let wp = set_lock t pslot ~node:(c / 2) ~level:(clvl - 1) in
+              let wc = set_lock t cslot ~node:c ~level:clvl in
+              let limit = node_value wc in
               if
                 Intf.Value.ge_elt Ord.compare limit hd
-                && Intf.Value.le_elt Ord.compare (node_value parent) hd
+                && Intf.Value.le_elt Ord.compare (node_value wp) hd
               then begin
                 let prefix, rest = split_prefix limit [] batch in
-                unlock cslot (prefix @ child.list);
-                unlock pslot parent.list;
-                go rest batch_tries
+                let published = unlock t cslot ~witness:wc (prefix @ wc.list) in
+                ignore (unlock t pslot ~witness:wp wp.list);
+                if published then go rest batch_tries else go batch (tries - 1)
               end
               else begin
-                unlock pslot parent.list;
-                unlock cslot child.list;
+                ignore (unlock t pslot ~witness:wp wp.list);
+                ignore (unlock t cslot ~witness:wc wc.list);
                 go batch (tries - 1)
               end
             end
@@ -267,9 +497,9 @@ module Make (R : Runtime.S) (Ord : Intf.ORDERED) = struct
 
   let peek_min t =
     let slot = T.get_at t.tree ~level:0 1 in
-    let root = set_lock t slot in
-    unlock slot root.list;
-    node_value root
+    let w = set_lock t slot ~node:1 ~level:0 in
+    ignore (unlock t slot ~witness:w w.list);
+    node_value w
 
   let is_empty t = peek_min t = None
 

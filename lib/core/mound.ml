@@ -35,6 +35,10 @@ module Lock = Lock_mound
     sequential mound. *)
 module Keyed = Keyed
 
+(** Bounded admission front-end: capacity watermark + reject / shed /
+    block overload policies over any of the variants. *)
+module Bounded = Bounded
+
 module Int_ord = struct
   type t = int
 

@@ -133,6 +133,20 @@ module Make (Ord : Intf.ORDERED) = struct
         moundify t n ~level:nlvl;
         Some hd
 
+  (* Sequential operations never retry, so the deadline/try variants are
+     the plain operations with the successful outcome: they exist so the
+     oracle satisfies the same MOUND signature the concurrent variants
+     are checked against. *)
+  let try_insert t v =
+    insert t v;
+    true
+
+  let insert_until t ~deadline:_ v =
+    insert t v;
+    Intf.Ok ()
+
+  let extract_min_until t ~deadline:_ = Intf.Ok (extract_min t)
+
   let peek_min t = node_value (T.get_at t.tree ~level:0 1)
 
   let is_empty t = peek_min t = None

@@ -31,6 +31,15 @@ module Ops = struct
         (** retry/spin loops that ran unusually long before succeeding —
             the dynamic shadow of the liveness checker's cycle detector:
             sustained non-progress that eventually resolved *)
+    mutable deadline_timeouts : int;
+        (** [_until] operations that observed their deadline expire *)
+    mutable rejected : int;
+        (** operations refused by an admission policy or try-lock miss *)
+    mutable shed : int;
+        (** elements evicted by the bounded front-end's shedding policy *)
+    mutable lock_recoveries : int;
+        (** expired-lease locks revoked from a presumed-dead holder
+            (locking variant only) *)
   }
 
   let create () =
@@ -42,6 +51,10 @@ module Ops = struct
       helps = 0;
       lock_spins = 0;
       livelock_near_misses = 0;
+      deadline_timeouts = 0;
+      rejected = 0;
+      shed = 0;
+      lock_recoveries = 0;
     }
 
   let reset c =
@@ -51,14 +64,20 @@ module Ops = struct
     c.extract_retries <- 0;
     c.helps <- 0;
     c.lock_spins <- 0;
-    c.livelock_near_misses <- 0
+    c.livelock_near_misses <- 0;
+    c.deadline_timeouts <- 0;
+    c.rejected <- 0;
+    c.shed <- 0;
+    c.lock_recoveries <- 0
 
   let pp ppf c =
     Format.fprintf ppf
       "insert retries %d (backoffs %d, root fallbacks %d), extract \
-       retries %d, helps %d, lock spins %d, livelock near misses %d"
+       retries %d, helps %d, lock spins %d, livelock near misses %d, \
+       timeouts %d, rejected %d, shed %d, lock recoveries %d"
       c.insert_retries c.insert_backoffs c.root_fallbacks c.extract_retries
-      c.helps c.lock_spins c.livelock_near_misses
+      c.helps c.lock_spins c.livelock_near_misses c.deadline_timeouts
+      c.rejected c.shed c.lock_recoveries
 end
 
 type level = {

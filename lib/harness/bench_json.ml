@@ -102,6 +102,10 @@ let of_counters (o : Mound.Stats.Ops.t) =
       ("helps", Num (float_of_int o.helps));
       ("lock_spins", Num (float_of_int o.lock_spins));
       ("livelock_near_misses", Num (float_of_int o.livelock_near_misses));
+      ("deadline_timeouts", Num (float_of_int o.deadline_timeouts));
+      ("rejected", Num (float_of_int o.rejected));
+      ("shed", Num (float_of_int o.shed));
+      ("lock_recoveries", Num (float_of_int o.lock_recoveries));
     ]
 
 let of_trial (t : Real_exp.trial) =

@@ -176,7 +176,11 @@ let add_ops (into : Mound.Stats.Ops.t) (o : Mound.Stats.Ops.t) =
   into.extract_retries <- into.extract_retries + o.extract_retries;
   into.helps <- into.helps + o.helps;
   into.lock_spins <- into.lock_spins + o.lock_spins;
-  into.livelock_near_misses <- into.livelock_near_misses + o.livelock_near_misses
+  into.livelock_near_misses <- into.livelock_near_misses + o.livelock_near_misses;
+  into.deadline_timeouts <- into.deadline_timeouts + o.deadline_timeouts;
+  into.rejected <- into.rejected + o.rejected;
+  into.shed <- into.shed + o.shed;
+  into.lock_recoveries <- into.lock_recoveries + o.lock_recoveries
 
 (* Generic sweep over a structure: [make] returns a fresh handle plus
    its ops-counter, leak-test and fullness closures. *)
@@ -264,6 +268,9 @@ let make_lf () =
       extract_min = (fun () -> Lf.extract_min q);
       extract_many = (fun () -> Lf.extract_many q);
       extract_approx = (fun () -> Lf.extract_approx q);
+      try_insert = Lf.try_insert q;
+      insert_until = (fun ~deadline v -> Lf.insert_until q ~deadline v);
+      extract_min_until = (fun ~deadline -> Lf.extract_min_until q ~deadline);
       size = (fun () -> Lf.size q);
       check = (fun () -> Lf.check q);
       ops = (fun () -> Some (Lf.ops q));
@@ -288,6 +295,9 @@ let make_lock () =
       extract_min = (fun () -> Lock.extract_min q);
       extract_many = (fun () -> Lock.extract_many q);
       extract_approx = (fun () -> Lock.extract_approx q);
+      try_insert = Lock.try_insert q;
+      insert_until = (fun ~deadline v -> Lock.insert_until q ~deadline v);
+      extract_min_until = (fun ~deadline -> Lock.extract_min_until q ~deadline);
       size = (fun () -> Lock.size q);
       check = (fun () -> Lock.check q);
       ops = (fun () -> Some (Lock.ops q));
@@ -351,9 +361,10 @@ let fingerprint s =
     (Printf.sprintf " faults[%d/%d cas-failed %d delays]"
        s.faults.spurious_failures s.faults.cas s.faults.delays);
   Buffer.add_string b
-    (Printf.sprintf " ops[%d/%d/%d/%d/%d/%d]" s.ops.insert_retries
+    (Printf.sprintf " ops[%d/%d/%d/%d/%d/%d/%d/%d]" s.ops.insert_retries
        s.ops.insert_backoffs s.ops.root_fallbacks s.ops.extract_retries
-       s.ops.helps s.ops.lock_spins);
+       s.ops.helps s.ops.lock_spins s.ops.deadline_timeouts
+       s.ops.lock_recoveries);
   Buffer.contents b
 
 let print_sweep ppf s =

@@ -20,7 +20,9 @@
       {!Check.explore} — behind [repro dpor] and the DPOR test tier;
     - {!Progress_exp}: the fixed programs certified by
       {!Liveness.certify} — behind [repro progress] and the progress
-      test tier. *)
+      test tier;
+    - {!Watchdog}: wall-clock join watchdog turning a wedged real-domain
+      test into a loud fast failure instead of a CI hang. *)
 
 module Barrier = Barrier
 module Pq = Pq
@@ -35,3 +37,4 @@ module Lin = Lin
 module Chaos_exp = Chaos_exp
 module Dpor_exp = Dpor_exp
 module Progress_exp = Progress_exp
+module Watchdog = Watchdog

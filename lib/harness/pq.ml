@@ -19,6 +19,15 @@ type t = {
   extract_approx : unit -> int option;
       (** probabilistic extract-min (mounds only); structures without a
           native variant degrade to the exact [extract_min] *)
+  try_insert : int -> bool;
+      (** one bounded insertion pass (mounds); structures without a
+          native variant degrade to [insert] and always succeed *)
+  insert_until : deadline:int -> int -> unit Mound.Intf.outcome;
+      (** deadline-checking insert (mounds); others degrade to the
+          unbounded [insert] and always report [Ok] *)
+  extract_min_until : deadline:int -> int option Mound.Intf.outcome;
+      (** deadline-checking extract (mounds); others degrade to
+          [extract_min] *)
   size : unit -> int;
   check : unit -> bool;  (** quiescent invariant check *)
   ops : unit -> Mound.Stats.Ops.t option;
@@ -26,6 +35,17 @@ type t = {
 }
 
 type maker = { make : capacity:int -> t }
+
+(* Degraded deadline/try trio for structures without native support: the
+   unbounded operations under the new names, always succeeding. *)
+let degraded_until ~insert ~extract_min =
+  ( (fun v ->
+      insert v;
+      true),
+    (fun ~deadline:_ v ->
+      insert v;
+      Mound.Intf.Ok ()),
+    fun ~deadline:_ -> Mound.Intf.Ok (extract_min ()) )
 
 module Of_runtime (R : Runtime.S) = struct
   module Lf = Mound.Lf.Make (R) (Mound.Int_ord)
@@ -47,6 +67,10 @@ module Of_runtime (R : Runtime.S) = struct
             extract_min = (fun () -> Lock.extract_min q);
             extract_many = (fun () -> Lock.extract_many q);
             extract_approx = (fun () -> Lock.extract_approx q);
+            try_insert = Lock.try_insert q;
+            insert_until = (fun ~deadline v -> Lock.insert_until q ~deadline v);
+            extract_min_until =
+              (fun ~deadline -> Lock.extract_min_until q ~deadline);
             size = (fun () -> Lock.size q);
             check = (fun () -> Lock.check q);
             ops = (fun () -> Some (Lock.ops q));
@@ -66,6 +90,10 @@ module Of_runtime (R : Runtime.S) = struct
             extract_min = (fun () -> Lf.extract_min q);
             extract_many = (fun () -> Lf.extract_many q);
             extract_approx = (fun () -> Lf.extract_approx q);
+            try_insert = Lf.try_insert q;
+            insert_until = (fun ~deadline v -> Lf.insert_until q ~deadline v);
+            extract_min_until =
+              (fun ~deadline -> Lf.extract_min_until q ~deadline);
             size = (fun () -> Lf.size q);
             check = (fun () -> Lf.check q);
             ops = (fun () -> Some (Lf.ops q));
@@ -78,6 +106,9 @@ module Of_runtime (R : Runtime.S) = struct
         (fun ~capacity ->
           let q = Hunt.create ~capacity () in
           let extract_min () = Hunt.extract_min q in
+          let try_insert, insert_until, extract_min_until =
+            degraded_until ~insert:(Hunt.insert q) ~extract_min
+          in
           {
             name = "Hunt Heap (Lock)";
             insert = Hunt.insert q;
@@ -86,6 +117,9 @@ module Of_runtime (R : Runtime.S) = struct
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
             extract_approx = extract_min;
+            try_insert;
+            insert_until;
+            extract_min_until;
             ops = (fun () -> None);
             size = (fun () -> Hunt.size q);
             check = (fun () -> Hunt.check q);
@@ -98,6 +132,9 @@ module Of_runtime (R : Runtime.S) = struct
         (fun ~capacity:_ ->
           let q = Sl.create () in
           let extract_min () = Sl.extract_min q in
+          let try_insert, insert_until, extract_min_until =
+            degraded_until ~insert:(Sl.insert q) ~extract_min
+          in
           {
             name = "Skip List (QC)";
             insert = Sl.insert q;
@@ -106,6 +143,9 @@ module Of_runtime (R : Runtime.S) = struct
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
             extract_approx = extract_min;
+            try_insert;
+            insert_until;
+            extract_min_until;
             ops = (fun () -> None);
             size = (fun () -> Sl.size q);
             check = (fun () -> Sl.check q);
@@ -120,6 +160,9 @@ module Of_runtime (R : Runtime.S) = struct
         (fun ~capacity:_ ->
           let q = Sl_lock.create () in
           let extract_min () = Sl_lock.extract_min q in
+          let try_insert, insert_until, extract_min_until =
+            degraded_until ~insert:(Sl_lock.insert q) ~extract_min
+          in
           {
             name = "Skip List (Lock)";
             insert = Sl_lock.insert q;
@@ -128,6 +171,9 @@ module Of_runtime (R : Runtime.S) = struct
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
             extract_approx = extract_min;
+            try_insert;
+            insert_until;
+            extract_min_until;
             ops = (fun () -> None);
             size = (fun () -> Sl_lock.size q);
             check = (fun () -> Sl_lock.check q);
@@ -142,6 +188,9 @@ module Of_runtime (R : Runtime.S) = struct
         (fun ~capacity ->
           let q = Stm_h.create ~capacity () in
           let extract_min () = Stm_h.extract_min q in
+          let try_insert, insert_until, extract_min_until =
+            degraded_until ~insert:(Stm_h.insert q) ~extract_min
+          in
           {
             name = "STM Heap";
             insert = Stm_h.insert q;
@@ -150,6 +199,9 @@ module Of_runtime (R : Runtime.S) = struct
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
             extract_approx = extract_min;
+            try_insert;
+            insert_until;
+            extract_min_until;
             ops = (fun () -> None);
             size = (fun () -> Stm_h.size q);
             check = (fun () -> Stm_h.check q);
@@ -162,6 +214,9 @@ module Of_runtime (R : Runtime.S) = struct
         (fun ~capacity ->
           let q = Coarse.create ~capacity () in
           let extract_min () = Coarse.extract_min q in
+          let try_insert, insert_until, extract_min_until =
+            degraded_until ~insert:(Coarse.insert q) ~extract_min
+          in
           {
             name = "Coarse Heap";
             insert = Coarse.insert q;
@@ -170,6 +225,9 @@ module Of_runtime (R : Runtime.S) = struct
             extract_many =
               (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
             extract_approx = extract_min;
+            try_insert;
+            insert_until;
+            extract_min_until;
             ops = (fun () -> None);
             size = (fun () -> Coarse.size q);
             check = (fun () -> Coarse.check q);
@@ -200,6 +258,10 @@ let seq =
           extract_min = (fun () -> S.extract_min q);
           extract_many = (fun () -> S.extract_many q);
           extract_approx = (fun () -> S.extract_approx q);
+          try_insert = S.try_insert q;
+          insert_until = (fun ~deadline v -> S.insert_until q ~deadline v);
+          extract_min_until =
+            (fun ~deadline -> S.extract_min_until q ~deadline);
           size = (fun () -> S.size q);
           check = (fun () -> S.check q);
           ops = (fun () -> None);

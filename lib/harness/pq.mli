@@ -15,6 +15,15 @@ type t = {
   extract_approx : unit -> int option;
       (** probabilistic extract-min (mounds only); structures without a
           native variant degrade to the exact [extract_min] *)
+  try_insert : int -> bool;
+      (** one bounded insertion pass (mounds); structures without a
+          native variant degrade to [insert] and always succeed *)
+  insert_until : deadline:int -> int -> unit Mound.Intf.outcome;
+      (** deadline-checking insert (mounds); others degrade to the
+          unbounded [insert] and always report [Ok] *)
+  extract_min_until : deadline:int -> int option Mound.Intf.outcome;
+      (** deadline-checking extract (mounds); others degrade to
+          [extract_min] *)
   size : unit -> int;  (** quiescent element count *)
   check : unit -> bool;  (** quiescent invariant check *)
   ops : unit -> Mound.Stats.Ops.t option;
@@ -25,6 +34,16 @@ type maker = { make : capacity:int -> t }
 (** Deferred constructor; [capacity] bounds the fixed-size array
     structures (Hunt heap, STM heap, coarse heap) and is ignored by the
     unbounded ones. *)
+
+val degraded_until :
+  insert:(int -> unit) ->
+  extract_min:(unit -> int option) ->
+  (int -> bool)
+  * (deadline:int -> int -> unit Mound.Intf.outcome)
+  * (deadline:int -> int option Mound.Intf.outcome)
+(** [(try_insert, insert_until, extract_min_until)] for a structure
+    without native deadline support: the unbounded operations under the
+    new names, always succeeding. *)
 
 (** Every structure instantiated over one runtime. *)
 module Of_runtime (_ : Runtime.S) : sig

@@ -183,3 +183,179 @@ let run_panel ?seed ?warmup ?trials ~panel ~thread_counts ~ops_per_thread
       run_series ?seed ?warmup ?trials ~panel ~thread_counts ~ops_per_thread
         ~init_size m)
     makers
+
+(* ----- overload scenarios (ISSUE 6) ----- *)
+
+(** Overload scenarios: each runs the structure behind the {!Mound.Bounded}
+    admission front-end and measures throughput {e and} degradation
+    (shed / rejected / timeout counts travel in the cell's [counters]
+    slot, so the mound-bench/1 panels record them under regression
+    guard).
+
+    - [Bursty]: arrival in bursts well above the watermark, alternating
+      with drain phases — exercises shedding and recovery from spikes.
+    - [Overcap]: sustained 2× over-capacity traffic (two inserts per
+      extract) — exercises steady-state rejection.
+    - [Zipf_mix]: balanced mix under Zipfian keys — skew pressure near
+      the root rather than admission pressure. *)
+type overload_scenario = Bursty | Overcap | Zipf_mix
+
+let scenario_name = function
+  | Bursty -> "bursty"
+  | Overcap -> "overcap"
+  | Zipf_mix -> "zipf"
+
+let scenario_of_string = function
+  | "bursty" -> Some Bursty
+  | "overcap" -> Some Overcap
+  | "zipf" | "zipfian" -> Some Zipf_mix
+  | _ -> None
+
+let scenario_policy : overload_scenario -> Mound.Bounded.Make(Runtime.Real).policy
+    = function
+  | Bursty -> Shed
+  | Overcap -> Reject
+  | Zipf_mix -> Shed
+
+module B = Mound.Bounded.Make (Runtime.Real)
+
+(* Any [Pq.t] handle as a Bounded substrate. The handle's extract_approx
+   has the default probe depth; good enough for harness shedding. *)
+let pq_ops : (Pq.t, int) B.ops =
+  {
+    insert = (fun q v -> q.Pq.insert v);
+    try_insert = (fun q v -> q.Pq.try_insert v);
+    insert_until = (fun q ~deadline v -> q.Pq.insert_until ~deadline v);
+    extract_min = (fun q -> q.Pq.extract_min ());
+    extract_min_until = (fun q ~deadline -> q.Pq.extract_min_until ~deadline);
+    extract_approx = (fun ~max_level:_ q -> q.Pq.extract_approx ());
+  }
+
+let burst_len = 64
+
+(* One thread's share of an overload scenario: every admission decision
+   (including a rejection) counts as a completed operation — overload
+   throughput measures how fast the front-end disposes of traffic, not
+   just how much it accepts. *)
+let run_overload_thread ~scenario ~(b : (Pq.t, int) B.t) ~rand ~ops () =
+  let z = lazy (Workload.zipf ()) in
+  let done_ = ref 0 in
+  for i = 1 to ops do
+    let inserting =
+      match scenario with
+      (* two insert bursts per drain burst: spikes that outrun draining,
+         so occupancy climbs past any fixed watermark and shedding fires *)
+      | Bursty -> i / burst_len mod 3 < 2
+      | Overcap -> i mod 3 < 2
+      | Zipf_mix -> rand 2 = 0
+    in
+    if inserting then begin
+      let key =
+        match scenario with
+        | Zipf_mix -> Workload.zipf_key (Lazy.force z) ~rand
+        | Bursty | Overcap -> rand Workload.key_range
+      in
+      match B.insert b key with
+      | Mound.Intf.Ok () | Mound.Intf.Rejected -> incr done_
+      | Mound.Intf.Timeout -> incr done_
+    end
+    else begin
+      ignore (B.extract_min b);
+      incr done_
+    end
+  done;
+  !done_
+
+(** One timed overload trial: same barrier/clock protocol as {!run_trial},
+    with the queue behind a Bounded front-end at [capacity]. The counter
+    snapshot merges the front-end's shed/rejected/timeout counts with the
+    structure's own retry counters. *)
+let run_overload_trial ?(seed = 7L) ~scenario ~threads ~ops_per_thread
+    ~capacity (maker : Pq.maker) =
+  let q = maker.make ~capacity:(capacity + (threads * ops_per_thread)) in
+  let b =
+    B.make ~ops:pq_ops ~capacity ~policy:(scenario_policy scenario) q
+  in
+  let barrier = Barrier.create (threads + 1) in
+  let counts = Array.make threads 0 in
+  let starts = Array.make threads 0. in
+  let stops = Array.make threads 0. in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let rng = Prng.for_thread ~seed ~id:tid in
+            Barrier.wait barrier;
+            starts.(tid) <- Unix.gettimeofday ();
+            counts.(tid) <-
+              run_overload_thread ~scenario ~b
+                ~rand:(fun bound -> Prng.int rng bound)
+                ~ops:ops_per_thread ();
+            stops.(tid) <- Unix.gettimeofday ()))
+  in
+  let t0 = Unix.gettimeofday () in
+  Barrier.wait barrier;
+  Array.iter Domain.join domains;
+  let last_stop = Array.fold_left max neg_infinity stops in
+  let seconds = last_stop -. t0 in
+  let ops = Array.fold_left ( + ) 0 counts in
+  let first_start = Array.fold_left min infinity starts in
+  let last_start = Array.fold_left max neg_infinity starts in
+  let thread_points =
+    List.init threads (fun tid ->
+        {
+          tid;
+          start_s = starts.(tid) -. t0;
+          stop_s = stops.(tid) -. t0;
+          ops = counts.(tid);
+        })
+  in
+  let counters = Mound.Stats.Ops.create () in
+  Chaos_exp.add_ops counters (B.counters b);
+  (match q.Pq.ops () with Some o -> Chaos_exp.add_ops counters o | None -> ());
+  ( {
+      seconds;
+      ops;
+      throughput = (if seconds > 0. then float_of_int ops /. seconds else 0.);
+      skew_s = last_start -. first_start;
+      thread_points;
+    },
+    Some counters )
+
+let run_overload_cell ?(seed = 7L) ?(warmup = 1) ?(trials = 3) ~scenario
+    ~threads ~ops_per_thread ~capacity (maker : Pq.maker) =
+  let trial_seed i = Int64.add seed (Int64.of_int (1000 * i)) in
+  for i = 1 to warmup do
+    ignore
+      (run_overload_trial ~seed:(trial_seed (-i)) ~scenario ~threads
+         ~ops_per_thread ~capacity maker)
+  done;
+  let counters = ref None in
+  let measured =
+    List.init trials (fun i ->
+        let t, ops =
+          run_overload_trial ~seed:(trial_seed i) ~scenario ~threads
+            ~ops_per_thread ~capacity maker
+        in
+        counters := ops;
+        t)
+  in
+  {
+    threads;
+    warmup;
+    trials = measured;
+    summary = summarize measured;
+    counters = !counters;
+  }
+
+let run_overload_series ?seed ?warmup ?trials ~scenario ~thread_counts
+    ~ops_per_thread ~capacity (maker : Pq.maker) =
+  let name = (maker.make ~capacity:16).name in
+  {
+    structure = name;
+    cells =
+      List.map
+        (fun threads ->
+          run_overload_cell ?seed ?warmup ?trials ~scenario ~threads
+            ~ops_per_thread ~capacity maker)
+        thread_counts;
+  }

@@ -87,3 +87,56 @@ val run_panel :
   init_size:int ->
   Pq.maker list ->
   series list
+
+(** {2 Overload scenarios}
+
+    Each runs the structure behind the {!Mound.Bounded} admission
+    front-end and measures throughput {e and} degradation: the cell's
+    [counters] slot merges the front-end's shed / rejected / timeout
+    counts with the structure's own retry counters, so the
+    mound-bench/1 panels record degradation under regression guard. *)
+
+type overload_scenario =
+  | Bursty  (** spikes above the watermark alternating with drains (Shed) *)
+  | Overcap  (** sustained 2x over-capacity, two inserts per extract (Reject) *)
+  | Zipf_mix  (** balanced mix under Zipfian keys: root pressure (Shed) *)
+
+val scenario_name : overload_scenario -> string
+
+val scenario_of_string : string -> overload_scenario option
+
+val run_overload_trial :
+  ?seed:int64 ->
+  scenario:overload_scenario ->
+  threads:int ->
+  ops_per_thread:int ->
+  capacity:int ->
+  Pq.maker ->
+  trial * Mound.Stats.Ops.t option
+(** One timed run with the queue behind a Bounded front-end at
+    [capacity]. Every admission decision — including a rejection —
+    counts as a completed operation: overload throughput measures how
+    fast the front-end disposes of traffic, not just how much it
+    accepts. *)
+
+val run_overload_cell :
+  ?seed:int64 ->
+  ?warmup:int ->
+  ?trials:int ->
+  scenario:overload_scenario ->
+  threads:int ->
+  ops_per_thread:int ->
+  capacity:int ->
+  Pq.maker ->
+  cell
+
+val run_overload_series :
+  ?seed:int64 ->
+  ?warmup:int ->
+  ?trials:int ->
+  scenario:overload_scenario ->
+  thread_counts:int list ->
+  ops_per_thread:int ->
+  capacity:int ->
+  Pq.maker ->
+  series

@@ -42,6 +42,39 @@ let keys ~order ~n ~seed =
       let rng = Prng.create seed in
       Array.init n (fun _ -> Prng.int rng key_range)
 
+(** Zipfian key distribution for the overload scenarios: real queues see
+    skewed keys (a few hot priorities, a long cold tail), which
+    concentrates mound traffic on few nodes. Sampled by inverse CDF over
+    a precomputed cumulative weight table of [ranks] ranks with exponent
+    [skew] (≈1 is the classic web-trace value). *)
+type zipf = { cum : float array; stride : int }
+
+let zipf ?(ranks = 1024) ?(skew = 0.99) () =
+  let w = Array.init ranks (fun i -> 1. /. (float_of_int (i + 1) ** skew)) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let cum = Array.make ranks 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. x;
+      cum.(i) <- !acc /. total)
+    w;
+  { cum; stride = key_range / ranks }
+
+(** [zipf_key z ~rand] draws a key: rank 0 (the hottest) maps to the
+    smallest keys, so skew pressure lands near the mound's root. [rand]
+    is the caller's thread-local generator, as in {!run_thread}. *)
+let zipf_key z ~rand =
+  let res = 1 lsl 20 in
+  let u = float_of_int (rand res) /. float_of_int res in
+  let lo = ref 0
+  and hi = ref (Array.length z.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cum.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  (!lo * z.stride) + rand z.stride
+
 (** One thread's share of a panel. [rand] must be the executing thread's
     own generator; [ops] is the operation budget. Returns the number of
     {e elements} processed (for [Extract_many], calls can cover many

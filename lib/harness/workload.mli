@@ -27,6 +27,18 @@ val order_name : order -> string
 val keys : order:order -> n:int -> seed:int64 -> int array
 (** Materialize a deterministic insertion sequence. *)
 
+type zipf
+(** Precomputed Zipfian inverse-CDF table for the overload scenarios. *)
+
+val zipf : ?ranks:int -> ?skew:float -> unit -> zipf
+(** [zipf ()] builds a table of [ranks] ranks (default 1024) with
+    exponent [skew] (default 0.99, the classic web-trace value). *)
+
+val zipf_key : zipf -> rand:(int -> int) -> int
+(** Draw a key: rank 0 (the hottest) maps to the smallest keys, so skew
+    pressure lands near the mound's root. [rand] is the caller's
+    thread-local generator. *)
+
 val run_thread :
   panel:panel -> q:Pq.t -> rand:(int -> int) -> ops:int -> unit -> int
 (** One thread's share of a panel against queue [q]. [rand] must be the

@@ -437,6 +437,11 @@ let is_help tok =
 let is_backoff tok =
   has_sub tok "ackoff" || has_sub tok "exponential" || has_sub tok "cpu_relax"
 
+(* Deadline awareness by vocabulary: the [_until] operation family, the
+   [expired]/[deadline] helpers, or a [no_deadline] plumb-through. *)
+let is_deadline tok =
+  has_sub tok "deadline" || has_sub tok "until" || has_sub tok "expired"
+
 (* Top-level-ish definition chunks: a chunk starts at each [let] that
    begins a line at indentation <= 2 (file scope, or the body of one
    functor/module). [and] continuations stay in the same chunk, so a
@@ -619,6 +624,27 @@ let scan_helping ~path ~file s idx =
               msg =
                 "unbounded retry loop around a compare-and-set with \
                  neither backoff nor helping";
+            }
+            :: !out;
+        (* Disjoint complement of retry-no-backoff: the loop does wait
+           between attempts, but nothing bounds how long it keeps
+           waiting — a dead peer wedges it forever. Helping loops are
+           exempt (bounded by global progress, the lock-free argument);
+           everything else must consult a deadline on the retry path. *)
+        if
+          ch.c_rec && has_cas_call && has is_backoff && (not helped)
+          && not (has is_deadline)
+        then
+          out :=
+            {
+              file;
+              line = ch.c_line;
+              rule = "deadline-blind";
+              msg =
+                "retry loop backs off but never consults a deadline; \
+                 unbounded waiting wedges behind a dead peer — thread \
+                 ~deadline through (the _until / expired family) or \
+                 record why waiting forever is safe";
             }
             :: !out;
         if ch.c_rec && not helped then

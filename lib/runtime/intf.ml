@@ -46,4 +46,12 @@ module type S = sig
   (** [rand_int bound] draws uniformly from [\[0, bound)] using a
       thread-local generator, so concurrent callers never contend on RNG
       state. *)
+
+  val monotonic_ns : unit -> int
+  (** Monotonic timestamp for deadlines and lease expiry. On real domains
+      this is wall-derived nanoseconds (comparable within a process, never
+      going backwards in practice); under the simulator it is the calling
+      thread's virtual time, so deadline behaviour is deterministic and
+      replayable. Only differences are meaningful; the origin is
+      unspecified. *)
 end

@@ -28,3 +28,9 @@ let rng_key =
       Prng.for_thread ~seed:(Stdlib.Atomic.get seed) ~id:(self ()))
 
 let rand_int bound = Prng.int (Domain.DLS.get rng_key) bound
+
+(* [Unix.gettimeofday] is the finest-grained clock available without new
+   dependencies; converted to an integer nanosecond stamp so deadline
+   arithmetic stays allocation-free. Not strictly monotonic across NTP
+   steps, but deadline checks only compare against lease-scale spans. *)
+let monotonic_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

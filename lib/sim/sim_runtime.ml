@@ -9,3 +9,7 @@ module Atomic = Mem
 let cpu_relax = Sched.relax
 let self = Sched.tid
 let rand_int = Sched.rand_int
+
+(* virtual "nanoseconds": the calling thread's accumulated virtual time,
+   so simulated deadlines expire deterministically *)
+let monotonic_ns () = Sched.now ()

@@ -169,6 +169,10 @@ module On_sim = Make (Sim.Runtime) (Mound.Int_ord)
 (** A [Harness.Pq.t] over the mutant, for {!Harness.Dpor_exp.pq_program}. *)
 let make_pq () : Harness.Pq.t =
   let q = On_sim.create () in
+  let try_insert, insert_until, extract_min_until =
+    Harness.Pq.degraded_until ~insert:(On_sim.insert q)
+      ~extract_min:(fun () -> On_sim.extract_min q)
+  in
   {
     name = "Mutant Mound (LF, dirty check dropped)";
     insert = On_sim.insert q;
@@ -178,6 +182,9 @@ let make_pq () : Harness.Pq.t =
       (fun () ->
         match On_sim.extract_min q with None -> [] | Some v -> [ v ]);
     extract_approx = (fun () -> On_sim.extract_min q);
+    try_insert;
+    insert_until;
+    extract_min_until;
     size = (fun () -> On_sim.size q);
     check = (fun () -> On_sim.check q);
     ops = (fun () -> None);

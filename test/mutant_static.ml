@@ -203,6 +203,10 @@ let lock_inverted_static_program : Liveness.program =
 let post_publish_pq () : Harness.Pq.t =
   let q = Post_publish_mutation.create () in
   let module P = Post_publish_mutation in
+  let try_insert, insert_until, extract_min_until =
+    Harness.Pq.degraded_until ~insert:(P.insert q)
+      ~extract_min:(fun () -> P.extract_min q)
+  in
   {
     name = "Mutant root list (post-publish mutation)";
     insert = P.insert q;
@@ -211,6 +215,9 @@ let post_publish_pq () : Harness.Pq.t =
     extract_many =
       (fun () -> match P.extract_min q with None -> [] | Some v -> [ v ]);
     extract_approx = (fun () -> P.extract_min q);
+    try_insert;
+    insert_until;
+    extract_min_until;
     size = (fun () -> P.size q);
     check = (fun () -> P.check q);
     ops = (fun () -> None);

@@ -21,6 +21,9 @@ let rec insert_sorted v = function
   | x :: rest as l -> if v <= x then v :: l else x :: insert_sorted v rest
 
 let pq_of ~name ~insert ~extract_min cell : Harness.Pq.t =
+  let try_insert, insert_until, extract_min_until =
+    Harness.Pq.degraded_until ~insert ~extract_min
+  in
   {
     name;
     insert;
@@ -29,6 +32,9 @@ let pq_of ~name ~insert ~extract_min cell : Harness.Pq.t =
     extract_many =
       (fun () -> match extract_min () with None -> [] | Some v -> [ v ]);
     extract_approx = extract_min;
+    try_insert;
+    insert_until;
+    extract_min_until;
     size = (fun () -> List.length (A.get cell));
     check = (fun () -> true);
     ops = (fun () -> None);

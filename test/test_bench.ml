@@ -181,6 +181,75 @@ let baseline_not_regressed () =
       end)
     panels
 
+(* The same 0.5x guard over the overload panels: throughput under
+   admission control (disposal rate, rejections included) must not
+   collapse either. Parameters must match the committed
+   BENCH_overload_* artifacts: quick ops, capacity = ops/16. *)
+let overload_scenarios : Harness.Real_exp.overload_scenario list =
+  if full then [ Bursty; Overcap; Zipf_mix ] else [ Bursty; Overcap ]
+
+let overload_capacity = max 64 (ops / 16)
+
+let overload_structures =
+  [ Harness.Pq.On_real.mound_lf; Harness.Pq.On_real.mound_lock ]
+
+let overload_doc ~warmup ~trials scenario =
+  let series =
+    List.map
+      (Harness.Real_exp.run_overload_series ~seed ~warmup ~trials ~scenario
+         ~thread_counts:[ 1 ] ~ops_per_thread:ops
+         ~capacity:overload_capacity)
+      overload_structures
+  in
+  Harness.Bench_json.of_panel
+    ~panel:("overload_" ^ Harness.Real_exp.scenario_name scenario)
+    ~seed ~warmup ~measured_trials:trials ~ops_per_thread:ops
+    ~init_size:overload_capacity series
+
+let overload_not_regressed () =
+  List.iter
+    (fun scenario ->
+      let stag = Harness.Real_exp.scenario_name scenario in
+      let path =
+        let rel = Printf.sprintf "bench/baseline/BENCH_overload_%s.json" stag in
+        if Sys.file_exists (Filename.concat ".." rel) then
+          Filename.concat ".." rel
+        else rel
+      in
+      let baseline = Harness.Bench_json.load path in
+      (match Harness.Bench_json.validate baseline with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: baseline invalid: %s" path e);
+      let medians () =
+        let doc = overload_doc ~warmup:cmp_warmup ~trials:cmp_trials scenario in
+        List.map
+          (fun m ->
+            let name = (m.Harness.Pq.make ~capacity:16).name in
+            let fresh =
+              Harness.Bench_json.median_of doc ~structure:name ~threads:1
+            and base =
+              Harness.Bench_json.median_of baseline ~structure:name ~threads:1
+            in
+            match (fresh, base) with
+            | Some f, Some b -> (name, f, b)
+            | _ -> Alcotest.failf "overload_%s/%s: missing median" stag name)
+          overload_structures
+      in
+      let below (_, f, b) = f < 0.5 *. b in
+      let first = medians () in
+      if List.exists below first then begin
+        let retry = medians () in
+        List.iter2
+          (fun ((name, f1, b) as m1) ((_, f2, _) as m2) ->
+            if below m1 && below m2 then
+              Alcotest.failf
+                "overload_%s/%s: medians %.0f and %.0f ops/s below half of \
+                 baseline %.0f"
+                stag name f1 f2 b)
+          first retry
+      end)
+    overload_scenarios
+
 let () =
   Alcotest.run "bench"
     [
@@ -196,5 +265,7 @@ let () =
         [
           Alcotest.test_case "no regression vs committed baseline" `Quick
             baseline_not_regressed;
+          Alcotest.test_case "overload panels not regressed" `Quick
+            overload_not_regressed;
         ] );
     ]

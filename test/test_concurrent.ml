@@ -52,7 +52,7 @@ let conservation subject () =
                 | None -> ()
             done))
   in
-  Array.iter Domain.join doms;
+  Harness.Watchdog.join_all ~label:"conservation" doms;
   check (subject.name ^ " invariant") true (q.check ());
   let got = Array.fold_left (fun acc l -> List.rev_append l acc) [] extracted in
   let rec drain acc =
@@ -86,7 +86,7 @@ let monotone_drain subject () =
             in
             per_thread.(d) <- go [] (* reversed: newest first *)))
   in
-  Array.iter Domain.join doms;
+  Harness.Watchdog.join_all ~label:"monotone_drain" doms;
   let all =
     Array.fold_left (fun acc l -> List.rev_append l acc) [] per_thread
   in
@@ -125,7 +125,7 @@ let concurrent_extract_many () =
                 in
                 batches.(d) <- go []))
       in
-      Array.iter Domain.join doms;
+      Harness.Watchdog.join_all ~label:"concurrent_extract_many" doms;
       let all_batches = Array.to_list batches |> List.concat in
       List.iter
         (fun b ->
@@ -149,7 +149,7 @@ let parallel_insert_then_drain subject () =
               q.insert (Prng.int rng 1_000_000)
             done))
   in
-  Array.iter Domain.join doms;
+  Harness.Watchdog.join_all ~label:"parallel_insert_then_drain" doms;
   check (subject.name ^ " invariant") true (q.check ());
   check_int (subject.name ^ " size") (domains * per) (q.size ());
   let rec drain prev count =
@@ -178,7 +178,7 @@ let mound_approx_under_concurrency () =
               | None -> ()
             done))
   in
-  Array.iter Domain.join doms;
+  Harness.Watchdog.join_all ~label:"mound_approx_under_concurrency" doms;
   check "invariant" true (M.check q);
   let all = Array.fold_left (fun acc l -> List.rev_append l acc) [] got in
   check_int "conservation" n (List.length all + M.size q);

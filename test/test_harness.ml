@@ -38,6 +38,9 @@ let run_thread_counts_ops () =
       extract_min = (fun () -> S.extract_min q);
       extract_many = (fun () -> S.extract_many q);
       extract_approx = (fun () -> S.extract_min q);
+      try_insert = S.try_insert q;
+      insert_until = (fun ~deadline v -> S.insert_until q ~deadline v);
+      extract_min_until = (fun ~deadline -> S.extract_min_until q ~deadline);
       size = (fun () -> S.size q);
       check = (fun () -> S.check q);
       ops = (fun () -> None);

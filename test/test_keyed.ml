@@ -157,6 +157,107 @@ let prop_model =
         script;
       !ok && K.size m = Hashtbl.length model)
 
+(* ---- deadline / try / bounded variants (overload tier) ----------------- *)
+
+let ms n = n * 1_000_000
+
+(* A decrease-key storm leaves a pile of stale entries at the head of
+   the queue; [pop_min_until]'s deadline is checked between stale
+   drops, so a long-gone deadline gives a deterministic [Timeout] per
+   stale entry — and no element is ever lost to one. *)
+let pop_min_until_storm () =
+  let m = K.create () in
+  (* one key decreased 100 -> 1 leaves 99 stale entries behind it *)
+  ignore (K.insert m "a" 100);
+  for p = 99 downto 1 do
+    ignore (K.decrease_key m "a" p)
+  done;
+  check "live head wins" true (K.pop_min m = Some ("a", 1));
+  (* the 99 stale entries (2..100,"a") now head the queue; "b" is live *)
+  ignore (K.insert m "b" 1000);
+  let past = Runtime.Real.monotonic_ns () - ms 1 in
+  (* a fresh head is returned even when the deadline is long gone:
+     Timeout always means "gave up discarding stale entries" *)
+  ignore (K.insert m "c" 1);
+  (match K.pop_min_until m ~deadline:past with
+  | Mound.Intf.Ok (Some ("c", 1)) -> ()
+  | _ -> Alcotest.fail "fresh head must be returned even late");
+  (* each expired call drops exactly one stale entry, then times out *)
+  let timeouts = ref 0 in
+  let rec storm () =
+    match K.pop_min_until m ~deadline:past with
+    | Mound.Intf.Timeout ->
+        incr timeouts;
+        storm ()
+    | Mound.Intf.Ok (Some ("b", 1000)) -> ()
+    | _ -> Alcotest.fail "only b may surface"
+  in
+  storm ();
+  check_int "one stale dropped per timeout" 99 !timeouts;
+  check "nothing lost" true (K.pop_min m = None);
+  (* no_deadline never expires, whatever the clock says *)
+  ignore (K.insert m "d" 7);
+  check "no_deadline pops" true
+    (K.pop_min_until m ~deadline:Mound.Intf.no_deadline
+    = Mound.Intf.Ok (Some ("d", 7)))
+
+(* [try_insert] is [insert] under the front-end's expected name: the
+   changed bool already distinguishes admitted from refused *)
+let try_insert_changed () =
+  let m = K.create () in
+  check "new key admitted" true (K.try_insert m "x" 5);
+  check "worsening refused" false (K.try_insert m "x" 9);
+  check "improvement admitted" true (K.try_insert m "x" 2);
+  check "pops at improved priority" true (K.pop_min m = Some ("x", 2))
+
+(* The Bounded front-end over a Keyed-backed queue: the ops record is
+   the whole adapter. [extract_approx] degrades to [pop_min] — a
+   sequential map has no deep probe — so Shed evicts the current best
+   rather than a probably-unimportant victim. *)
+let bounded_over_keyed () =
+  let module B = Mound.Bounded.Make (Runtime.Real) in
+  let keyed_ops : (K.t, string * int) B.ops =
+    {
+      insert = (fun m (k, p) -> ignore (K.insert m k p));
+      try_insert = (fun m (k, p) -> K.try_insert m k p);
+      insert_until =
+        (fun m ~deadline:_ (k, p) ->
+          if K.try_insert m k p then Mound.Intf.Ok ()
+          else Mound.Intf.Rejected);
+      extract_min = K.pop_min;
+      extract_min_until = (fun m ~deadline -> K.pop_min_until m ~deadline);
+      extract_approx = (fun ~max_level:_ m -> K.pop_min m);
+    }
+  in
+  let b = B.make ~ops:keyed_ops ~capacity:4 ~policy:B.Reject (K.create ()) in
+  for i = 1 to 4 do
+    match B.insert b (Printf.sprintf "k%d" i, i * 10) with
+    | Mound.Intf.Ok () -> ()
+    | _ -> Alcotest.fail "under capacity must admit"
+  done;
+  check "watermark refuses the fifth" true
+    (B.insert b ("k5", 50) = Mound.Intf.Rejected);
+  check_int "watermark rejection counted" 1 (B.counters b).rejected;
+  check "extraction frees a slot" true (B.extract_min b = Some ("k1", 10));
+  check_int "occupancy after pop" 3 (B.size b);
+  (* a worsening insert is Rejected by the structure, not the
+     watermark, and hands its reserved slot back *)
+  check "worsening rejected by the structure" true
+    (B.insert b ("k2", 99) = Mound.Intf.Rejected);
+  check_int "slot handed back" 3 (B.size b);
+  check "freed slot readmits" true
+    (B.insert b ("k1", 15) = Mound.Intf.Ok ());
+  (* Shed over Keyed: room is made by evicting through pop_min *)
+  let s = B.make ~ops:keyed_ops ~capacity:2 ~policy:B.Shed (K.create ()) in
+  List.iter
+    (fun (k, p) ->
+      match B.insert s (k, p) with
+      | Mound.Intf.Ok () -> ()
+      | _ -> Alcotest.fail "shed admits every arrival")
+    [ ("s1", 30); ("s2", 20); ("s3", 10) ];
+  check_int "one eviction" 1 (B.counters s).shed;
+  check_int "held at the watermark" 2 (B.size s)
+
 let () =
   Alcotest.run "keyed"
     [
@@ -169,5 +270,13 @@ let () =
           Alcotest.test_case "dijkstra equivalence" `Quick
             dijkstra_equivalence;
           QCheck_alcotest.to_alcotest prop_model;
+        ] );
+      ( "overload variants",
+        [
+          Alcotest.test_case "pop_min_until under stale storm" `Quick
+            pop_min_until_storm;
+          Alcotest.test_case "try_insert changed bool" `Quick
+            try_insert_changed;
+          Alcotest.test_case "bounded over keyed" `Quick bounded_over_keyed;
         ] );
     ]

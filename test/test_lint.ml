@@ -150,7 +150,11 @@ let test_retry_no_backoff () =
     \      push q b v\n\
     \    end\n"
   in
-  check_count "backoff silences" 0 (scan "lib/core/x.ml" with_backoff);
+  (* backoff silences retry-no-backoff; what remains is the disjoint
+     complement — the loop waits, but nothing bounds the wait *)
+  Alcotest.(check (list string)) "backoff leaves only deadline-blind"
+    [ "deadline-blind" ]
+    (rules (scan "lib/core/x.ml" with_backoff));
   let with_help =
     "let rec push q v =\n\
     \    let cur = R.Atomic.get q in\n\
@@ -165,6 +169,60 @@ let test_retry_no_backoff () =
     (scan "lib/core/x.ml" "let push q v =\n  if M.cas q [] [ v ] then 1 else 0\n");
   (* baselines reproduce published loops; helping rules do not apply *)
   check_count "baselines exempt" 0 (scan "lib/baselines/x.ml" bare)
+
+let test_deadline_blind () =
+  (* waiting without a bound: backoff satisfies retry-no-backoff but
+     the loop can wait forever behind a dead peer *)
+  let waiting =
+    "let rec push q b v =\n\
+    \    if M.cas q 0 v then ()\n\
+    \    else begin\n\
+    \      B.exponential b;\n\
+    \      push q b v\n\
+    \    end\n"
+  in
+  Alcotest.(check (list string)) "unbounded wait flagged"
+    [ "deadline-blind" ]
+    (rules (scan "lib/core/x.ml" waiting));
+  (* consulting a deadline bounds the wait *)
+  let bounded =
+    "let rec push q b v deadline =\n\
+    \    if expired ~deadline then Timeout\n\
+    \    else if M.cas q 0 v then Ok ()\n\
+    \    else begin\n\
+    \      B.exponential b;\n\
+    \      push q b v deadline\n\
+    \    end\n"
+  in
+  check_count "deadline silences" 0 (scan "lib/core/x.ml" bounded);
+  (* the _until operation family is the same vocabulary *)
+  let until =
+    "let rec push q b v d =\n\
+    \    if M.cas q 0 v then Ok () else (B.exponential b; push_until q b v d)\n"
+  in
+  check_count "_until call silences" 0 (scan "lib/core/x.ml" until);
+  (* disjoint from retry-no-backoff: a bare loop gets exactly one
+     finding, the one whose remedy (back off first) comes first *)
+  let bare =
+    "let rec push q v =\n\
+    \    if M.cas q 0 v then () else push q v\n"
+  in
+  Alcotest.(check (list string)) "bare loop is retry-no-backoff only"
+    [ "retry-no-backoff" ]
+    (rules (scan "lib/core/x.ml" bare));
+  (* helping loops are bounded by global progress: exempt *)
+  let helping =
+    "let rec pull q =\n\
+    \    if M.cas q 0 1 then () else (help_complete q; cpu_relax (); pull q)\n"
+  in
+  check_count "helping exempt" 0 (scan "lib/core/x.ml" helping);
+  (* baselines keep their published shapes *)
+  check_count "baselines exempt" 0 (scan "lib/baselines/x.ml" waiting);
+  (* a reasoned waiver covers it like any other finding *)
+  check_count "reasoned waiver silences" 0
+    (scan "lib/core/x.ml"
+       ("(* lint: allow — fixture: wait bounded by the test harness *)\n"
+      ^ waiting))
 
 let test_dirty_spin () =
   let spin =
@@ -352,10 +410,13 @@ let test_format () =
 let test_shipped_tree_clean () =
   (* Belt and braces: the runtest rule in bin/dune already enforces
      this, but running from the test binary keeps the guarantee even if
-     the alias wiring regresses. Source may live elsewhere when built in
-     a sandbox; skip silently if lib/ is not present. *)
+     the alias wiring regresses. Both engines, like [bin/lint.exe]: a
+     token-only scan would misjudge as stale any waiver that covers an
+     AST-level finding (stm's static-deadline waiver). Source may live
+     elsewhere when built in a sandbox; skip silently if lib/ is not
+     present. *)
   if Sys.file_exists "lib" && Sys.is_directory "lib" then begin
-    let fs = Lint_rules.scan_tree "lib" in
+    let fs = Analysis.scan_tree "lib" in
     List.iter
       (fun f -> Format.printf "%a@." Lint_rules.pp_finding f)
       fs;
@@ -381,6 +442,7 @@ let () =
       ( "helping",
         [
           Alcotest.test_case "retry-no-backoff" `Quick test_retry_no_backoff;
+          Alcotest.test_case "deadline-blind" `Quick test_deadline_blind;
           Alcotest.test_case "dirty-spin" `Quick test_dirty_spin;
           Alcotest.test_case "cas-discard" `Quick test_cas_discard;
           Alcotest.test_case "alloc-in-retry" `Quick test_alloc_in_retry;
