@@ -3,20 +3,30 @@
     Usage: [lint.exe DIR...] — scans every [.ml]/[.mli] under each DIR
     (default [lib]) with both engines linked as one program: the token
     lint ({!Lint_rules}) plus the Parsetree analyses ({!Analysis}:
-    lock-order, publication safety, helping discipline v2), their
-    findings merged through the same waiver machinery. Exits nonzero if
+    lock-order, publication safety, helping discipline v2, and the
+    dataflow rules aba-risk / atomicity / layout), their findings
+    merged through the same waiver machinery. Exits nonzero if
     anything is flagged. Wired into the default [dune runtest] via the
     [@lint] alias, so a direct [Stdlib.Atomic] use outside the runtime,
     a child-before-parent lock acquisition, or a retry loop that
-    neither helps nor backs off fails the build, not a review. *)
+    neither helps nor backs off fails the build, not a review.
+
+    [--ast-only] narrows the report to the AST rule set (the
+    [@analysis] alias): waivers still apply, token findings are
+    dropped. *)
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let ast_only = List.mem "--ast-only" args in
   let roots =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as dirs) -> dirs
-    | _ -> [ "lib" ]
+    match List.filter (fun a -> a <> "--ast-only") args with
+    | _ :: _ as dirs -> dirs
+    | [] -> [ "lib" ]
   in
-  let findings = Analysis.scan_trees roots in
+  let findings =
+    if ast_only then Analysis.scan_trees_static roots
+    else Analysis.scan_trees roots
+  in
   List.iter
     (fun f -> Format.printf "%a@." Analysis.pp_finding f)
     findings;

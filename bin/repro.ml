@@ -175,6 +175,22 @@ let real_cmd =
 
 (* ---------- wall-clock benchmark artifacts ---------- *)
 
+(* Thread sweep for the bench/overload pipelines: powers of two up to
+   the domain budget, plus the budget itself when it is not a power of
+   two — 1,2,4,…,max_t. On a wide machine that makes the 1→2-thread
+   collapse curve visible at 4/8 threads; on a narrow one ([max_t] from
+   [Domain.recommended_domain_count ()], floored at 2) it degrades to
+   the old 1,2. [--quick] keeps the 1,2 pair: the sweep's cost is per
+   thread count, and quick mode feeds the in-test regression guard,
+   which keys on matching thread counts only. *)
+let sweep_thread_counts ~quick ~max_t =
+  if quick || max_t <= 2 then [ 1; min 2 max_t ] |> List.sort_uniq compare
+  else
+    let rec pows t acc =
+      if t >= max_t then List.rev (max_t :: acc) else pows (2 * t) (t :: acc)
+    in
+    pows 1 []
+
 let bench_panel_tag (panel : Harness.Workload.panel) =
   match panel with
   | Insert -> "insert"
@@ -194,11 +210,7 @@ let run_bench panel threads trials warmup quick out =
     | Some n -> n
     | None -> max 2 (Domain.recommended_domain_count ())
   in
-  let thread_counts =
-    let base = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
-    List.filter (fun t -> t <= max_t) base |> fun l ->
-    if l = [] then [ 1 ] else l
-  in
+  let thread_counts = sweep_thread_counts ~quick ~max_t in
   let panels =
     match panel with
     | Some p -> [ p ]
@@ -289,11 +301,7 @@ let run_overload scenario threads trials warmup quick out =
     | Some n -> n
     | None -> max 2 (Domain.recommended_domain_count ())
   in
-  let thread_counts =
-    let base = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
-    List.filter (fun t -> t <= max_t) base |> fun l ->
-    if l = [] then [ 1 ] else l
-  in
+  let thread_counts = sweep_thread_counts ~quick ~max_t in
   (* Watermark well below the per-thread budget, so every scenario
      actually saturates admission rather than fitting inside capacity. *)
   let capacity = max 64 (ops / 16) in
@@ -812,30 +820,11 @@ let run_lint rule json roots =
     | Some r -> List.filter (fun f -> f.Analysis.rule = r) findings
   in
   if json then begin
-    let module J = Harness.Bench_json in
-    let doc =
-      J.Obj
-        [
-          ("schema", J.Str "mound-lint/1");
-          ("roots", J.Arr (List.map (fun r -> J.Str r) roots));
-          ( "rule",
-            match rule with None -> J.Null | Some r -> J.Str r );
-          ("count", J.Num (float_of_int (List.length findings)));
-          ( "findings",
-            J.Arr
-              (List.map
-                 (fun (f : Analysis.finding) ->
-                   J.Obj
-                     [
-                       ("file", J.Str f.file);
-                       ("line", J.Num (float_of_int f.line));
-                       ("rule", J.Str f.rule);
-                       ("msg", J.Str f.msg);
-                     ])
-                 findings) );
-        ]
-    in
-    print_string (J.to_string doc);
+    let doc = Harness.Lint_json.doc ~roots ~rule findings in
+    (match Harness.Lint_json.validate doc with
+    | Ok () -> ()
+    | Error e -> failwith (Printf.sprintf "mound-lint document invalid: %s" e));
+    print_string (Harness.Bench_json.to_string doc);
     print_newline ()
   end
   else begin
@@ -871,8 +860,8 @@ let lint_cmd =
   in
   let doc =
     "Run both lint engines (token rules and the AST analyses: \
-     lock-order, publication safety, helping discipline) over source \
-     trees."
+     lock-order, publication safety, helping discipline, and the \
+     dataflow rules aba-risk / atomicity / layout) over source trees."
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const run_lint $ rule_arg $ json_arg $ roots_arg)

@@ -2,7 +2,9 @@
 
     Drives both engines over a set of sources: the token lint
     ({!Lint_rules}) and the Parsetree analyses ({!Lock_order},
-    {!Publication}, {!Helping}), merging their findings through the
+    {!Publication}, {!Helping}, and the {!Dataflow}-powered
+    {!Aba_risk}, {!Atomicity} and {!Layout}), merging their findings
+    through the
     {e same} waiver machinery — a [lint: allow] comment with a reason
     silences an AST finding on its covered lines exactly as it silences
     a token finding, and waiver hygiene (reason required, stale waivers
@@ -31,7 +33,8 @@ let pp_finding = Lint_rules.pp_finding
 
 let static_rules =
   [ "lock-order"; "lock-leak"; "stale-publish"; "post-publish-mutation";
-    "static-retry"; "static-deadline"; "parse" ]
+    "static-retry"; "static-deadline"; "aba-risk"; "atomicity"; "layout";
+    "parse" ]
 
 let token_rules =
   [ "boundary"; "mutable-atomic"; "dirty-spin"; "cas-discard";
@@ -59,6 +62,7 @@ let static_findings (files : (string * string) list) :
   let cg = Callgraph.build fns in
   let all =
     Lock_order.scan cg @ Publication.scan cg @ Helping.scan cg
+    @ Aba_risk.scan cg @ Atomicity.scan cg @ Layout.scan parsed cg
     @ List.rev !parse_errors
   in
   (* nested functions are walked both standalone and inline in their
@@ -75,6 +79,38 @@ let static_findings (files : (string * string) list) :
     (Hashtbl.copy byfile);
   byfile
 
+(* One defect, one finding: when both engines flag the same file:line,
+   the token rule and its AST sibling describe the same problem from two
+   vantage points — keep the AST finding (it names the protocol) and
+   drop the token one. Pairings are explicit so unrelated co-located
+   findings still both surface. *)
+let sibling_rules =
+  [
+    ("retry-no-backoff", [ "static-retry"; "static-deadline" ]);
+    ("deadline-blind", [ "static-deadline"; "static-retry" ]);
+    ("dirty-spin", [ "static-retry"; "aba-risk" ]);
+    ("cas-discard", [ "atomicity"; "aba-risk"; "stale-publish" ]);
+  ]
+
+let dedupe_tokens ~(extra : finding list) (raw : Lint_rules.raw) :
+    Lint_rules.raw =
+  {
+    raw with
+    Lint_rules.raw_base =
+      List.filter
+        (fun (f : finding) ->
+          match List.assoc_opt f.rule sibling_rules with
+          | None -> true
+          | Some asts ->
+              not
+                (List.exists
+                   (fun (g : finding) ->
+                     g.file = f.file && g.line = f.line
+                     && List.mem g.rule asts)
+                   extra))
+        raw.Lint_rules.raw_base;
+  }
+
 let scan_files (files : (string * string) list) : finding list =
   let statics = static_findings files in
   List.concat_map
@@ -83,6 +119,7 @@ let scan_files (files : (string * string) list) : finding list =
       let extra =
         Hashtbl.find_opt statics path |> Option.value ~default:[]
       in
+      let raw = dedupe_tokens ~extra raw in
       Lint_rules.apply_waivers ~path raw ~extra)
     files
 
@@ -108,3 +145,12 @@ let scan_trees roots : finding list =
   scan_files files
 
 let scan_tree root = scan_trees [ root ]
+
+(** AST engine only — the rule author's fast inner loop ([@analysis]
+    alias, [lint.exe --ast-only]). Findings are still waiver-filtered
+    (the full two-engine scan computes waiver coverage), then narrowed
+    to the AST rule set; waiver-hygiene findings are left to the full
+    scan, where staleness is judged against both engines' findings. *)
+let scan_trees_static roots : finding list =
+  scan_trees roots
+  |> List.filter (fun f -> List.mem f.rule static_rules)

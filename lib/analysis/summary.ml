@@ -48,6 +48,9 @@ type effects = {
   acquires_lock : bool;
   releases_lock : bool;
   allocates : bool;
+  writes_nonatomically : bool;
+      (* a dotted [set] that is not a lock release: a plain store into
+         an atomic location, the sink of a lost update *)
 }
 
 let no_effects =
@@ -59,6 +62,7 @@ let no_effects =
     acquires_lock = false;
     releases_lock = false;
     allocates = false;
+    writes_nonatomically = false;
   }
 
 let union_effects a b =
@@ -70,6 +74,7 @@ let union_effects a b =
     acquires_lock = a.acquires_lock || b.acquires_lock;
     releases_lock = a.releases_lock || b.releases_lock;
     allocates = a.allocates || b.allocates;
+    writes_nonatomically = a.writes_nonatomically || b.writes_nonatomically;
   }
 
 type call = { callee : string list; call_line : int }
@@ -84,6 +89,11 @@ type fn = {
   flock_param : int option;  (* acquire primitive: param that is the slot *)
   funlock_param : int option;  (* release primitive: param that is the slot *)
   fpublishes : int list;  (* params forwarded to a CAS fresh-value slot *)
+  fwrites : string list;
+      (* syntactic keys of atomic locations this function writes — the
+         CAS-target and dotted-[set] location names ([root], [slot]…) —
+         so the ABA analysis can ask which locations are recycled by
+         more than one function *)
   fbody : expression;
   fscope : scope;
       (* lexical scope at the function's entry, for re-resolving call
@@ -121,6 +131,14 @@ let fresh_positions = function
   | "dcas" -> [ 2; 5 ]
   | _ -> []
 
+(* 0-based positions (among [Nolabel] arguments) of the locations each
+   CAS-family operation writes. [dcss] only validates its first leg. *)
+let write_positions = function
+  | "cas" | "compare_and_set" -> [ 0 ]
+  | "dcss" -> [ 2 ]
+  | "dcas" -> [ 0; 3 ]
+  | _ -> []
+
 (* ---- small AST probes -------------------------------------------------- *)
 
 let rec strip_casts e =
@@ -139,6 +157,19 @@ let rec base_var e =
   match (strip_casts e).pexp_desc with
   | Pexp_ident { txt = Lident v; _ } -> Some v
   | Pexp_field (e, _) -> base_var e
+  | _ -> None
+
+(* The syntactic key of a written atomic location: the last field name
+   of [t.root] / [t.tree.rows], the variable itself for a bare [slot],
+   the receiver's key for an indexing call like [t.rows.(d)]. *)
+let rec loc_write_key e =
+  match (strip_casts e).pexp_desc with
+  | Pexp_ident { txt = Lident v; _ } -> Some v
+  | Pexp_field (_, { txt; _ }) -> (
+      match List.rev (try Longident.flatten txt with _ -> []) with
+      | f :: _ -> Some f
+      | [] -> None)
+  | Pexp_apply (_, (Asttypes.Nolabel, a) :: _) -> loc_write_key a
   | _ -> None
 
 let is_bool_lit b e =
@@ -201,12 +232,20 @@ let resolve_call scope segs =
 
 (* ---- the body walk ----------------------------------------------------- *)
 
+let rec module_head (m : module_expr) =
+  match m.pmod_desc with
+  | Pmod_ident { txt; _ } -> ( try Some (Longident.flatten txt) with _ -> None)
+  | Pmod_apply (f, _) -> module_head f
+  | Pmod_constraint (m, _) -> module_head m
+  | _ -> None
+
 type collector = {
   mutable calls : call list;
   mutable eff : effects;
   mutable lock_param : int option;
   mutable unlock_param : int option;
   mutable publishes : int list;
+  mutable writes : string list;
   mutable out : fn list;  (* nested functions, innermost first *)
 }
 
@@ -265,6 +304,13 @@ let rec walk ~file ~scope ~params ~fnpath col disc expr =
           let arg i = List.nth_opt nargs i in
           if dotted && List.mem last cas_family then begin
             col.eff <- { col.eff with performs_cas = true };
+            List.iter
+              (fun e ->
+                match loc_write_key e with
+                | Some k when not (List.mem k col.writes) ->
+                    col.writes <- k :: col.writes
+                | _ -> ())
+              (List.filter_map arg (write_positions last));
             let fresh_args = List.filter_map arg (fresh_positions last) in
             (* completing CAS: publishes a clean record, or fires blind *)
             if
@@ -307,7 +353,17 @@ let rec walk ~file ~scope ~params ~fnpath col disc expr =
                 | None -> ())
               fresh_args
           end
-          else if dotted && last = "set" then begin
+          else if dotted && last = "set" && List.length nargs = 2 then begin
+            (* exactly [X.set loc v] — the atomic-store shape; [a.(i) <-
+               x] desugars to the 3-argument [Array.set] and is a plain
+               heap write, not a shared-location store *)
+            (match arg 0 with
+            | Some loc_e -> (
+                match loc_write_key loc_e with
+                | Some k when not (List.mem k col.writes) ->
+                    col.writes <- k :: col.writes
+                | _ -> ())
+            | None -> ());
             match arg 1 with
             | Some v
               when record_sets_field "locked" false v || is_bool_lit false v
@@ -324,7 +380,9 @@ let rec walk ~file ~scope ~params ~fnpath col disc expr =
                     | None -> ())
                 | None -> ()
               end
-            | _ -> ()
+            | Some _ ->
+                col.eff <- { col.eff with writes_nonatomically = true }
+            | None -> ()
           end
           else if last = "cpu_relax" then
             col.eff <- { col.eff with backs_off = true }
@@ -373,6 +431,7 @@ let rec walk ~file ~scope ~params ~fnpath col disc expr =
                     lock_param = None;
                     unlock_param = None;
                     publishes = [];
+                    writes = [];
                     out = [];
                   }
                 in
@@ -388,7 +447,12 @@ let rec walk ~file ~scope ~params ~fnpath col disc expr =
                   (fun p ->
                     if not (List.mem p col.publishes) then
                       col.publishes <- p :: col.publishes)
-                  col2.publishes
+                  col2.publishes;
+                List.iter
+                  (fun k ->
+                    if not (List.mem k col.writes) then
+                      col.writes <- k :: col.writes)
+                  col2.writes
               end
               else
                 match flatten_ident vb.pvb_expr with
@@ -459,7 +523,16 @@ let rec walk ~file ~scope ~params ~fnpath col disc expr =
   | Pexp_tuple es | Pexp_array es -> List.iter (self false) es
   | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
       Option.iter (self false) arg
-  | Pexp_letmodule (_, _, e) -> self disc e
+  | Pexp_letmodule (name, me, e) ->
+      (* [let module A = Atomic in …]: the local alias must resolve like
+         a structure-level one, or calls through it lose their target *)
+      let scope' =
+        match (name.txt, module_head me) with
+        | Some n, Some (hd :: rest) ->
+            { scope with menv = (n, resolve_module scope hd @ rest) :: scope.menv }
+        | _ -> scope
+      in
+      walk ~file ~scope:scope' ~params ~fnpath col disc e
   | Pexp_ident _ -> (
       match flatten_ident expr with
       | Some segs when List.exists deadline_name segs ->
@@ -478,6 +551,7 @@ and collect_fn ~file ~scope ~fnpath ~line e : fn list =
       lock_param = None;
       unlock_param = None;
       publishes = [];
+      writes = [];
       out = [];
     }
   in
@@ -492,19 +566,13 @@ and collect_fn ~file ~scope ~fnpath ~line e : fn list =
     flock_param = col.lock_param;
     funlock_param = col.unlock_param;
     fpublishes = List.sort compare col.publishes;
+    fwrites = List.sort_uniq compare col.writes;
     fbody = body;
     fscope = scope;
   }
   :: List.rev col.out
 
 (* ---- structures and modules -------------------------------------------- *)
-
-let rec module_head (m : module_expr) =
-  match m.pmod_desc with
-  | Pmod_ident { txt; _ } -> ( try Some (Longident.flatten txt) with _ -> None)
-  | Pmod_apply (f, _) -> module_head f
-  | Pmod_constraint (m, _) -> module_head m
-  | _ -> None
 
 let rec walk_module ~file ~scope name (m : module_expr) : fn list * scope =
   match m.pmod_desc with
@@ -514,7 +582,14 @@ let rec walk_module ~file ~scope name (m : module_expr) : fn list * scope =
           ~scope:{ scope with modpath = scope.modpath @ [ name ] }
           items
       in
-      (fns, scope)
+      (* register the nested module itself: later references
+         ([Helpers.finish], or a local [module H = Helpers]) must
+         resolve to the definition's full path *)
+      ( fns,
+        {
+          scope with
+          menv = (name, scope.modpath @ [ name ]) :: scope.menv;
+        } )
   | Pmod_functor (_, body) -> walk_module ~file ~scope name body
   | Pmod_constraint (m, _) -> walk_module ~file ~scope name m
   | Pmod_ident _ | Pmod_apply _ -> (

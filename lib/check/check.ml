@@ -58,7 +58,14 @@ type config = {
       (** also report unordered plain-read / plain-write pairs. Off by
           default: get-spin against a releasing [set] — the TTAS idiom —
           is exactly that shape and benign under the simulator's SC
-          memory. Write-write races are always reported. *)
+          memory. Write-write races are always reported (but see
+          [race_oracle]). *)
+  race_oracle : bool;
+      (** run the vector-clock race scan at all. On by default; turn it
+          off for a program whose defect under test {e is} an unordered
+          write pair (the lost-update mutants), so the semantic oracles
+          — invariant and linearizability — get to pronounce on the
+          damage instead of the race masking them on every trace. *)
   profile : Sim.Profile.t;
   seed : int64;
 }
@@ -71,6 +78,7 @@ let default_config =
     stall_threshold = 16;
     spin_cap = 64;
     read_races = false;
+    race_oracle = true;
     profile = Sim.Profile.uniform;
     seed = 42L;
   }
@@ -218,6 +226,10 @@ type exec = {
   stack : node array ref;
   mutable len : int;  (** nodes filled this execution *)
   forced : int;  (** prefix length to replay before extending *)
+  (* lint: allow — the explorer itself is sequential: [exec] is the
+     model checker's per-execution bookkeeping, mutated by exactly one
+     thread of control (only the simulated program is concurrent), so
+     co-located mutable words cannot ping-pong between cores *)
   mutable depth : int;  (** decisions taken so far *)
   mutable sleep_cur : int;
   last_cell : int array;  (** per-thread cell of the current read streak *)
@@ -737,12 +749,13 @@ let explore ?(config = default_config) (program : program) =
              Some { schedule = schedule_of ex ex.len; failure = f };
            raise Exit
          in
-         (match
-            find_race ~read_races:config.read_races (trace_events ex)
-              (Array.length inst.bodies)
-          with
-         | Some r -> fail (Race r)
-         | None -> ());
+         (if config.race_oracle then
+            match
+              find_race ~read_races:config.read_races (trace_events ex)
+                (Array.length inst.bodies)
+            with
+            | Some r -> fail (Race r)
+            | None -> ());
          (match outcome with
          | Ok () -> begin
              incr complete_runs;
@@ -812,8 +825,10 @@ let run_schedule ?(config = default_config) ?(watchdog = 10_000_000)
   let events = List.rev !events in
   let failure =
     match
-      find_race ~read_races:config.read_races events
-        (Array.length inst.bodies)
+      if config.race_oracle then
+        find_race ~read_races:config.read_races events
+          (Array.length inst.bodies)
+      else None
     with
     | Some r -> Some (Race r)
     | None -> (

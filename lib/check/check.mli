@@ -27,14 +27,22 @@ type config = {
   read_races : bool;
       (** also flag unordered plain-read/plain-write pairs (the TTAS
           get-spin idiom trips this, hence off by default); unordered
-          plain write/write pairs are always flagged *)
+          plain write/write pairs are always flagged while the race
+          oracle runs *)
+  race_oracle : bool;
+      (** run the vector-clock race scan at all (default [true]). Turn
+          it off for a program whose defect under test {e is} an
+          unordered write pair — e.g. a seeded lost-update mutant —
+          so the semantic oracles (invariant, linearizability) report
+          the damage instead of the race pre-empting them on every
+          trace *)
   profile : Sim.Profile.t;
   seed : int64;
 }
 
 val default_config : config
 (** 50k schedules, 5k steps, spin threshold 3, stall threshold 16, no
-    read races, uniform profile, seed 42. *)
+    read races, race oracle on, uniform profile, seed 42. *)
 
 (** A fresh run of the program under test. [verdict] is evaluated after
     the execution completes, outside the simulation; [None] = pass. *)

@@ -15,6 +15,10 @@
     alongside the fullness tables. *)
 module Ops = struct
   type t = {
+    (* lint: allow — diagnostic counters are racy by contract (see the
+       module doc): bumps tolerate lost updates and false sharing, and
+       padding eleven diagnostic words would bloat every mound; the
+       hot-path data planes (Tree's rows) carry the pad blocks *)
     mutable insert_retries : int;
         (** failed candidate validations / CAS / DCSS during insert *)
     mutable insert_backoffs : int;  (** backoff pauses taken by insert *)

@@ -22,6 +22,10 @@ let wait t =
   let my_sense = not (A.get t.sense) in
   if A.fetch_and_add t.arrived 1 = t.parties - 1 then begin
     A.set t.arrived 0;
+    (* lint: allow — single-writer store: only the last arrival (the
+       thread whose fetch_and_add returned [parties - 1]) reaches this
+       branch, so no concurrent update can land between its read of the
+       sense and this flip *)
     A.set t.sense my_sense
   end
   else

@@ -416,6 +416,30 @@ let median_of (j : json) ~structure ~threads =
         series
   | _ -> None
 
+(** [thread_counts_of j ~structure] — the thread counts of the
+    structure's cells, in document order. Regression guards key on the
+    counts present in {e both} documents under comparison, so a sweep
+    recorded on a wider machine (4/8-thread panels) still compares
+    cleanly against one recorded on a narrow one. *)
+let thread_counts_of (j : json) ~structure =
+  match member "series" j with
+  | Some (Arr series) ->
+      List.concat_map
+        (fun s ->
+          if member "structure" s = Some (Str structure) then
+            match member "cells" s with
+            | Some (Arr cells) ->
+                List.filter_map
+                  (fun c ->
+                    match member "threads" c with
+                    | Some (Num t) -> Some (int_of_float t)
+                    | _ -> None)
+                  cells
+            | _ -> []
+          else [])
+        series
+  | _ -> []
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect

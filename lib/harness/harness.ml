@@ -22,7 +22,9 @@
       {!Liveness.certify} — behind [repro progress] and the progress
       test tier;
     - {!Watchdog}: wall-clock join watchdog turning a wedged real-domain
-      test into a loud fast failure instead of a CI hang. *)
+      test into a loud fast failure instead of a CI hang;
+    - {!Lint_json}: the mound-lint/1 emitter/validator behind
+      [repro lint --json]. *)
 
 module Barrier = Barrier
 module Pq = Pq
@@ -30,6 +32,7 @@ module Workload = Workload
 module Sim_exp = Sim_exp
 module Real_exp = Real_exp
 module Bench_json = Bench_json
+module Lint_json = Lint_json
 module Tables = Tables
 module Fig2 = Fig2
 module Ablation = Ablation

@@ -1,0 +1,107 @@
+(** Machine-readable lint reports — schema [mound-lint/1].
+
+    One JSON document per [repro lint --json] run, built on
+    {!Bench_json}'s emitter/parser (same no-dependency JSON kit as the
+    bench artifacts, same self-validation discipline: the emitter
+    validates what it is about to print, and the tests parse the
+    emitted string back through {!Bench_json.parse} and re-validate).
+
+    Shape:
+
+    {v
+    { "schema": "mound-lint/1",
+      "roots": ["lib"],
+      "rule": null | "aba-risk",
+      "count": N,
+      "findings": [ {"file": ..., "line": ..., "rule": ..., "msg": ...} ] }
+    v}
+
+    [count] is redundant with [findings]' length by design — a consumer
+    streaming the array can cross-check truncation, and [validate]
+    rejects the mismatch. *)
+
+open Bench_json
+
+let schema_version = "mound-lint/1"
+
+let doc ~roots ~rule (findings : Lint_rules.finding list) : json =
+  Obj
+    [
+      ("schema", Str schema_version);
+      ("roots", Arr (List.map (fun r -> Str r) roots));
+      ("rule", match rule with None -> Null | Some r -> Str r);
+      ("count", Num (float_of_int (List.length findings)));
+      ( "findings",
+        Arr
+          (List.map
+             (fun (f : Lint_rules.finding) ->
+               Obj
+                 [
+                   ("file", Str f.file);
+                   ("line", Num (float_of_int f.line));
+                   ("rule", Str f.rule);
+                   ("msg", Str f.msg);
+                 ])
+             findings) );
+    ]
+
+(** Decode the findings array; raises {!Bench_json.Malformed} on shape
+    errors (missing member, wrong type, non-integral line). *)
+let findings_of (j : json) : Lint_rules.finding list =
+  let get k o =
+    match member k o with
+    | Some v -> v
+    | None -> raise (Malformed (Printf.sprintf "missing %S" k))
+  in
+  match member "findings" j with
+  | Some (Arr fs) ->
+      List.map
+        (fun f ->
+          let line = num_exn (get "line" f) in
+          if Float.of_int (int_of_float line) <> line then
+            raise (Malformed "non-integral line");
+          {
+            Lint_rules.file = str_exn (get "file" f);
+            line = int_of_float line;
+            rule = str_exn (get "rule" f);
+            msg = str_exn (get "msg" f);
+          })
+        fs
+  | Some _ -> raise (Malformed "findings must be an array")
+  | None -> raise (Malformed "missing \"findings\"")
+
+let validate (j : json) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  try
+    let* () =
+      match member "schema" j with
+      | Some (Str s) when s = schema_version -> Ok ()
+      | Some (Str s) -> Error (Printf.sprintf "schema %S, want %S" s schema_version)
+      | _ -> Error "missing schema tag"
+    in
+    let* () =
+      match member "roots" j with
+      | Some (Arr (_ :: _ as rs))
+        when List.for_all (function Str _ -> true | _ -> false) rs ->
+          Ok ()
+      | _ -> Error "roots must be a non-empty array of strings"
+    in
+    let* () =
+      match member "rule" j with
+      | Some Null | Some (Str _) -> Ok ()
+      | _ -> Error "rule must be null or a string"
+    in
+    let fs = findings_of j in
+    let* () =
+      if List.exists (fun (f : Lint_rules.finding) -> f.line < 1) fs then
+        Error "line must be >= 1"
+      else Ok ()
+    in
+    match member "count" j with
+    | Some (Num c) when int_of_float c = List.length fs -> Ok ()
+    | Some (Num c) ->
+        Error
+          (Printf.sprintf "count %d does not match %d findings"
+             (int_of_float c) (List.length fs))
+    | _ -> Error "missing count"
+  with Malformed m -> Error m

@@ -36,6 +36,9 @@ module Make (R : Runtime.S) = struct
   (* Transaction-private state. [writes] is kept deduplicated by tvar. *)
   type tx = {
     rv : int;
+    (* lint: allow — transaction-private: a [tx] record lives and dies
+       on the thread that began it; the read and write sets are never
+       shared across domains, so their adjacency cannot false-share *)
     mutable reads : (tvar * int) list;
     mutable writes : (tvar * int) list;
   }

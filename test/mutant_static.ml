@@ -29,6 +29,26 @@
      clean. The dynamic analog (helping deleted means the victim's
      obstruction is never cleared) is [Mutant_live.No_help].
 
+   - [Unstamped_publish]: Tree.expand's publish loop with the version
+     stamp deleted — the CAS compares the bare pointer read at the top
+     of the loop while [retire] recycles the slot concurrently. The
+     aba-risk analysis must flag the CAS; [Stamped_publish] is the
+     negative twin with the paper's seq discipline restored.
+
+   - [Lost_update]: a sorted-list "priority queue" whose insert and
+     extract are get-compute-set — the atomicity analysis must flag
+     both plain sets; under DPOR two extractions double-deliver the
+     minimum, breaking linearizability (the dynamic cross-check).
+
+   - [Counter_drift]: the same defect on a bare counter ([bump] reads,
+     adds one, plain-sets); [bump_atomic] is the negative twin using
+     the primitive RMW.
+
+   - [Unpadded_top_row]: a top-row cache record whose two hot mutable
+     words sit adjacent with the pad block deleted, touched by two
+     RMW-performing operations — the layout analysis must flag the
+     record; the padded twin in the same module must stay clean.
+
    This file is scanned as source by [test_analysis] (a declared dep of
    the test stanza); it must stay outside [lib/] so the shipped-tree
    lint stays clean. *)
@@ -173,6 +193,183 @@ module Aliased_helper_dropped = struct
         end
 end
 
+module Unstamped_publish = struct
+  module R = Sim.Runtime
+
+  type row = { cells : int array }
+  type t = { slot : row option R.Atomic.t }
+
+  let create () = { slot = R.Atomic.make None }
+
+  (* THE MUTATION: the expand-style publish loop with the version stamp
+     deleted. The CAS compares the bare option read at the top of the
+     loop — no counter folded into the fresh value, no dirty/seq
+     re-validation between the read and the CAS — while [retire] below
+     recycles the slot concurrently. A retire + republish between the
+     read and the CAS restores the compared value and the CAS installs
+     over a row it never observed. *)
+  let rec publish t fresh =
+    let cur = R.Atomic.get t.slot in
+    match cur with
+    | Some _ -> ()
+    | None ->
+        if not (R.Atomic.compare_and_set t.slot cur (Some fresh)) then begin
+          R.cpu_relax ();
+          publish t fresh
+        end
+
+  (* The recycler that makes the slot ABA-prone. *)
+  let retire t = R.Atomic.set t.slot None
+
+  let width t =
+    match R.Atomic.get t.slot with
+    | None -> 0
+    | Some r -> Array.length r.cells
+end
+
+module Stamped_publish = struct
+  module R = Sim.Runtime
+
+  type row = { cells : int array }
+  type vrow = { row : row option; ver : int }
+  type t = { slot : vrow R.Atomic.t }
+
+  let create () = { slot = R.Atomic.make { row = None; ver = 0 } }
+
+  (* The negative twin: the same loop, but the compared record folds a
+     bumped version counter into the fresh value — the paper's seq
+     discipline. Re-publication after a retire cannot restore the
+     compared value, so the stale CAS fails; aba-risk must stay
+     silent. *)
+  let rec publish t fresh =
+    let cur = R.Atomic.get t.slot in
+    match cur.row with
+    | Some _ -> ()
+    | None ->
+        if
+          not
+            (R.Atomic.compare_and_set t.slot cur
+               { row = Some fresh; ver = cur.ver + 1 })
+        then begin
+          R.cpu_relax ();
+          publish t fresh
+        end
+
+  (* At-most-once retire: a lost race means someone else already moved
+     the slot on, so there is nothing left to retire. *)
+  let retire t =
+    let cur = R.Atomic.get t.slot in
+    if
+      not
+        (R.Atomic.compare_and_set t.slot cur
+           { row = None; ver = cur.ver + 1 })
+    then ()
+
+  let width t =
+    match (R.Atomic.get t.slot).row with
+    | None -> 0
+    | Some r -> Array.length r.cells
+end
+
+module Lost_update = struct
+  module R = Sim.Runtime
+
+  type t = { cell : int list R.Atomic.t }
+
+  let create () = { cell = R.Atomic.make [] }
+
+  let rec ins v = function
+    | [] -> [ v ]
+    | hd :: tl -> if v <= hd then v :: hd :: tl else hd :: ins v tl
+
+  (* THE MUTATION: get-compute-set. The sorted insert is computed from
+     the read and stored with a plain set — a concurrent update landing
+     between the two is silently erased. The atomicity analysis must
+     flag both sites; DPOR confirms the defect dynamically (two
+     extractions of the same minimum). *)
+  let insert t v =
+    let cur = R.Atomic.get t.cell in
+    R.Atomic.set t.cell (ins v cur)
+
+  let extract_min t =
+    match R.Atomic.get t.cell with
+    | [] -> None
+    | hd :: tl ->
+        R.Atomic.set t.cell tl;
+        Some hd
+
+  let size t = List.length (R.Atomic.get t.cell)
+
+  let check t =
+    let rec sorted = function
+      | [] | [ _ ] -> true
+      | a :: (b :: _ as rest) -> a <= b && sorted rest
+    in
+    sorted (R.Atomic.get t.cell)
+end
+
+module Counter_drift = struct
+  module R = Sim.Runtime
+
+  type t = { hits : int R.Atomic.t }
+
+  let create () = { hits = R.Atomic.make 0 }
+
+  (* THE MUTATION: the same lost-update shape on a bare counter —
+     concurrent bumps collapse into one. *)
+  let bump t =
+    let n = R.Atomic.get t.hits in
+    R.Atomic.set t.hits (n + 1)
+
+  (* The negative twin: the primitive RMW linearizes the increment and
+     must stay clean. *)
+  let bump_atomic t = ignore (R.Atomic.fetch_and_add t.hits 1)
+
+  let read t = R.Atomic.get t.hits
+end
+
+module Unpadded_top_row = struct
+  module R = Sim.Runtime
+
+  (* THE MUTATION: a top-row cache with its pad block deleted — the
+     two hot words share a cache line and two RMW-performing
+     operations ping-pong it between cores. The layout analysis must
+     flag this record, anchored at the first field of the pair. *)
+  type top = { mutable top_val : int; mutable top_ver : int }
+
+  (* The negative twin: the same shape with the pad block restored
+     (Tree's pads idiom) — adjacency broken, no finding. *)
+  type top_padded = {
+    mutable pv : int;
+    pad : int array;
+    mutable pver : int;
+  }
+
+  type t = { top : top; shadow : top_padded; word : int R.Atomic.t }
+
+  let create () =
+    {
+      top = { top_val = max_int; top_ver = 0 };
+      shadow = { pv = max_int; pad = Array.make 7 0; pver = 0 };
+      word = R.Atomic.make 0;
+    }
+
+  let publish t v =
+    ignore (R.Atomic.fetch_and_add t.word 1);
+    t.top.top_val <- v;
+    t.top.top_ver <- t.top.top_ver + 1;
+    t.shadow.pv <- v;
+    t.shadow.pver <- t.shadow.pver + 1
+
+  let retire t =
+    ignore (R.Atomic.fetch_and_add t.word 1);
+    t.top.top_ver <- t.top.top_ver + 1;
+    t.shadow.pver <- t.shadow.pver + 1
+
+  let top_val t = t.top.top_val
+  let pad_live t = Array.length t.shadow.pad
+end
+
 (* ---- dynamic cross-checks over the mutants ----------------------------- *)
 
 (** Two threads on adjacent tree slots, opposite acquisition orders:
@@ -209,6 +406,33 @@ let post_publish_pq () : Harness.Pq.t =
   in
   {
     name = "Mutant root list (post-publish mutation)";
+    insert = P.insert q;
+    insert_many = (fun b -> List.iter (P.insert q) b);
+    extract_min = (fun () -> P.extract_min q);
+    extract_many =
+      (fun () -> match P.extract_min q with None -> [] | Some v -> [ v ]);
+    extract_approx = (fun () -> P.extract_min q);
+    try_insert;
+    insert_until;
+    extract_min_until;
+    size = (fun () -> P.size q);
+    check = (fun () -> P.check q);
+    ops = (fun () -> None);
+  }
+
+(** A [Harness.Pq.t] over the lost-update mutant, for
+    {!Harness.Dpor_exp.pq_program}'s two-extract probe: both
+    extractions read the same head before either plain set lands, and
+    the minimum is delivered twice. *)
+let lost_update_pq () : Harness.Pq.t =
+  let q = Lost_update.create () in
+  let module P = Lost_update in
+  let try_insert, insert_until, extract_min_until =
+    Harness.Pq.degraded_until ~insert:(P.insert q)
+      ~extract_min:(fun () -> P.extract_min q)
+  in
+  {
+    name = "Mutant sorted list (lost update)";
     insert = P.insert q;
     insert_many = (fun b -> List.iter (P.insert q) b);
     extract_min = (fun () -> P.extract_min q);

@@ -263,6 +263,222 @@ let test_static_deadline () =
   check_count "baselines exempt" 0
     (with_rule "static-deadline" (scan "lib/baselines/x.ml" waiting))
 
+(* ---- aba-risk ---------------------------------------------------------- *)
+
+let test_aba_risk () =
+  (* the CAS compares the bare read while another function recycles the
+     location: the ABA window the paper's seq stamp exists to close *)
+  let bare =
+    "let recycle q = R.Atomic.set q None\n\n\
+     let rec publish q v =\n\
+    \  let cur = R.Atomic.get q in\n\
+    \  if not (R.Atomic.compare_and_set q cur (Some v)) then begin\n\
+    \    R.cpu_relax ();\n\
+    \    publish q v\n\
+    \  end\n"
+  in
+  check_count "bare compared read over a recycled slot flagged" 1
+    (with_rule "aba-risk" (scan "lib/core/x.ml" bare));
+  (* folding a bumped version counter into the fresh value closes it *)
+  let stamped =
+    "let recycle q =\n\
+    \  let cur = R.Atomic.get q in\n\
+    \  ignore (R.Atomic.compare_and_set q cur { row = None; ver = cur.ver + 1 })\n\n\
+     let rec publish q v =\n\
+    \  let cur = R.Atomic.get q in\n\
+    \  if\n\
+    \    not (R.Atomic.compare_and_set q cur { row = Some v; ver = cur.ver + 1 })\n\
+    \  then begin\n\
+    \    R.cpu_relax ();\n\
+    \    publish q v\n\
+    \  end\n"
+  in
+  check_count "version stamp silences" 0
+    (with_rule "aba-risk" (scan "lib/core/x.ml" stamped));
+  (* re-validating the read's protocol bits before the CAS also counts *)
+  let revalidated =
+    "let recycle q = R.Atomic.set q None\n\n\
+     let rec publish q v =\n\
+    \  let cur = R.Atomic.get q in\n\
+    \  if cur.dirty then publish q v\n\
+    \  else if not (R.Atomic.compare_and_set q cur (Some v)) then begin\n\
+    \    R.cpu_relax ();\n\
+    \    publish q v\n\
+    \  end\n"
+  in
+  check_count "dirty re-validation silences" 0
+    (with_rule "aba-risk" (scan "lib/core/x.ml" revalidated));
+  (* a location nothing else overwrites has no recycler to race *)
+  let single_writer =
+    "let rec publish q v =\n\
+    \  let cur = R.Atomic.get q in\n\
+    \  if not (R.Atomic.compare_and_set q cur (Some v)) then begin\n\
+    \    R.cpu_relax ();\n\
+    \    publish q v\n\
+    \  end\n"
+  in
+  check_count "single-writer location fine" 0
+    (with_rule "aba-risk" (scan "lib/core/x.ml" single_writer))
+
+(* ---- atomicity --------------------------------------------------------- *)
+
+let test_atomicity () =
+  let lost =
+    "let bump q =\n\
+    \  let n = R.Atomic.get q in\n\
+    \  R.Atomic.set q (n + 1)\n"
+  in
+  check_count "get-compute-set flagged" 1
+    (with_rule "atomicity" (scan "lib/core/x.ml" lost));
+  (* the primitive RMW linearizes the same update *)
+  let rmw = "let bump q = ignore (R.Atomic.fetch_and_add q 1)\n" in
+  check_count "fetch_and_add fine" 0
+    (with_rule "atomicity" (scan "lib/core/x.ml" rmw));
+  (* storing a value unrelated to the location's own read is a plain
+     overwrite, not a lost update *)
+  let overwrite =
+    "let reset q v =\n\
+    \  let n = R.Atomic.get other in\n\
+    \  ignore n;\n\
+    \  R.Atomic.set q v\n"
+  in
+  check_count "unrelated store fine" 0
+    (with_rule "atomicity" (scan "lib/core/x.ml" overwrite));
+  (* the mound's own unlock idiom is release-shaped and exempt *)
+  let release =
+    "let unlock s =\n\
+    \  let cur = R.Atomic.get s in\n\
+    \  R.Atomic.set s { cur with locked = false }\n"
+  in
+  check_count "lock release fine" 0
+    (with_rule "atomicity" (scan "lib/core/x.ml" release))
+
+let test_atomicity_interprocedural () =
+  (* the plain set lives in a callee; the caller hands it the location
+     and a value computed from that location's read — the lost update
+     spans the call and only the call graph can see it *)
+  let split =
+    "let store q v = R.Atomic.set q v\n\n\
+     let bump q =\n\
+    \  let n = R.Atomic.get q in\n\
+    \  store q (n + 1)\n"
+  in
+  let fs = scan "lib/core/x.ml" split in
+  let at = with_rule "atomicity" fs in
+  (* the callee's own set stores an opaque parameter (not flagged); the
+     call site is *)
+  check_count "lost update through a callee flagged once" 1 at;
+  Alcotest.(check bool) "finding names the callee" true
+    (Analysis.Summary.contains_sub (List.hd at).Analysis.msg "store");
+  (* same callee, but the caller passes a value unrelated to the
+     location it hands over: nothing lost *)
+  let unrelated =
+    "let store q v = R.Atomic.set q v\n\n\
+     let seed q v =\n\
+    \  store q (v * 2)\n"
+  in
+  check_count "unrelated argument fine" 0
+    (with_rule "atomicity" (scan "lib/core/x.ml" unrelated))
+
+(* ---- layout ------------------------------------------------------------ *)
+
+(* Two RMW-performing operations touching the record's hot fields: the
+   contention precondition for a false-sharing flag. *)
+let layout_ops =
+  "let push t v =\n\
+  \  ignore (R.Atomic.fetch_and_add t.word 1);\n\
+  \  t.h.a <- v;\n\
+  \  t.h.b <- t.h.b + 1\n\n\
+   let pop t =\n\
+  \  ignore (R.Atomic.fetch_and_add t.word 1);\n\
+  \  t.h.b <- t.h.b + 1\n"
+
+let test_layout () =
+  let unpadded =
+    "type hot = { mutable a : int; mutable b : int }\n\n" ^ layout_ops
+  in
+  check_count "adjacent hot fields under contention flagged" 1
+    (with_rule "layout" (scan "lib/core/x.ml" unpadded));
+  let padded =
+    "type hot = { mutable a : int; pad : int array; mutable b : int }\n\n"
+    ^ layout_ops
+  in
+  check_count "pad block between them silences" 0
+    (with_rule "layout" (scan "lib/core/x.ml" padded));
+  (* one toucher means no cross-core ping-pong: the reasoned-waiver
+     story for single-owner records, here silent by construction *)
+  let single_toucher =
+    "type hot = { mutable a : int; mutable b : int }\n\n\
+     let push t v =\n\
+    \  ignore (R.Atomic.fetch_and_add t.word 1);\n\
+    \  t.h.a <- v;\n\
+    \  t.h.b <- t.h.b + 1\n"
+  in
+  check_count "single contended toucher fine" 0
+    (with_rule "layout" (scan "lib/core/x.ml" single_toucher));
+  (* touchers that never CAS/RMW are readers/sequential setup: silent *)
+  let cold_touchers =
+    "type hot = { mutable a : int; mutable b : int }\n\n\
+     let init t v =\n\
+    \  t.h.a <- v;\n\
+    \  t.h.b <- v\n\n\
+     let drain t =\n\
+    \  t.h.a <- 0;\n\
+    \  t.h.b <- 0\n"
+  in
+  check_count "no contention source fine" 0
+    (with_rule "layout" (scan "lib/core/x.ml" cold_touchers))
+
+(* ---- callgraph resolution through local module aliases ----------------- *)
+
+let test_letmodule_alias_resolution () =
+  (* a local [module A = Atomic] must still count as CAS-providing:
+     the bare loop below is only a retry loop if A.compare_and_set is
+     recognized through the alias *)
+  let bare =
+    "let rec push q v =\n\
+    \  let module A = Atomic in\n\
+    \  if A.compare_and_set q 0 v then () else push q v\n"
+  in
+  check_count "CAS through a local alias of the substrate seen" 1
+    (with_rule "static-retry" (scan "lib/core/x.ml" bare));
+  (* a helper reached through a local alias of a nested module must
+     resolve — the loop helps, so no finding *)
+  let kept =
+    "module Helpers = struct\n\
+    \  let finish q =\n\
+    \    let cur = M.get q in\n\
+    \    ignore (M.cas q cur { list = cur.list; dirty = false })\n\
+     end\n\n\
+     let rec pull q =\n\
+    \  let module H = Helpers in\n\
+    \  let cur = M.get q in\n\
+    \  if M.cas q cur { list = cur.list; dirty = cur.dirty } then ()\n\
+    \  else begin\n\
+    \    H.finish q;\n\
+    \    pull q\n\
+    \  end\n"
+  in
+  check_count "helper through a local module alias silences" 0
+    (with_rule "static-retry" (scan "lib/core/x.ml" kept));
+  (* the twin that binds the alias but never calls the helper keeps
+     the finding: resolution must not bleed into mere mention *)
+  let dropped =
+    "module Helpers = struct\n\
+    \  let finish q =\n\
+    \    let cur = M.get q in\n\
+    \    ignore (M.cas q cur { list = cur.list; dirty = false })\n\
+     end\n\n\
+     let rec pull q =\n\
+    \  let module H = Helpers in\n\
+    \  ignore H.finish;\n\
+    \  let cur = M.get q in\n\
+    \  if M.cas q cur { list = cur.list; dirty = cur.dirty } then ()\n\
+    \  else pull q\n"
+  in
+  check_count "uncalled aliased helper still flagged" 1
+    (with_rule "static-retry" (scan "lib/core/x.ml" dropped))
+
 (* ---- waiver interaction ------------------------------------------------ *)
 
 let test_waivers_cover_static_findings () =
@@ -349,6 +565,71 @@ let test_mutant_aliased_helper_flagged () =
            (fun f -> f.Lint_rules.rule = "retry-no-backoff")
            token)
 
+let contains = Analysis.Summary.contains_sub
+
+let test_mutant_unstamped_publish_flagged () =
+  match scan_mutant () with
+  | None -> ()
+  | Some fs ->
+      let ar = with_rule "aba-risk" fs in
+      (* the unstamped publish loop, plus the post-publish mutant's
+         republishing CAS (root is recycled by its insert) — the
+         stamped twin and every seq-disciplined loop stay silent *)
+      check_count "exactly the two ABA-prone CAS sites" 2 ar;
+      Alcotest.(check bool) "one names the recycled slot" true
+        (List.exists (fun f -> contains f.Analysis.msg "slot") ar);
+      Alcotest.(check bool) "one names the republished root" true
+        (List.exists (fun f -> contains f.Analysis.msg "root") ar)
+
+let test_mutant_lost_update_flagged () =
+  match scan_mutant () with
+  | None -> ()
+  | Some fs ->
+      let at = with_rule "atomicity" fs in
+      check_count "both pq sets and the counter bump" 3 at;
+      check_count "two on the sorted-list cell" 2
+        (List.filter (fun f -> contains f.Analysis.msg "cell") at);
+      check_count "one on the drifting counter" 1
+        (List.filter (fun f -> contains f.Analysis.msg "hits") at)
+
+let test_mutant_unpadded_top_row_flagged () =
+  match scan_mutant () with
+  | None -> ()
+  | Some fs ->
+      let ly = with_rule "layout" fs in
+      check_count "exactly the unpadded record" 1 ly;
+      Alcotest.(check bool) "names the adjacent hot pair" true
+        (let msg = (List.hd ly).Analysis.msg in
+         contains msg "top_val" && contains msg "top_ver")
+
+(* ---- waivers over the new rules ---------------------------------------- *)
+
+let test_waivers_cover_new_rules () =
+  let lost =
+    "let bump q =\n\
+    \  let n = R.Atomic.get q in\n\
+    \  (* lint: allow — single-writer counter, interference impossible *)\n\
+    \  R.Atomic.set q (n + 1)\n"
+  in
+  check_count "reasoned waiver silences atomicity" 0
+    (scan "lib/core/x.ml" lost);
+  let unpadded =
+    "(* lint: allow — diagnostic-only record, never on the hot path *)\n\
+     type hot = { mutable a : int; mutable b : int }\n\n"
+    ^ layout_ops
+  in
+  check_count "reasoned waiver silences layout" 0
+    (scan "lib/core/x.ml" unpadded);
+  (* the waiver is live (covers a real finding): no staleness complaint
+     — and without the finding underneath, the same waiver is stale *)
+  let stale =
+    "let bump q =\n\
+    \  (* lint: allow — single-writer counter, interference impossible *)\n\
+    \  ignore (R.Atomic.fetch_and_add q 1)\n"
+  in
+  check_count "waiver with nothing under it is stale" 1
+    (with_rule "waiver" (scan "lib/core/x.ml" stale))
+
 (* ---- dynamic cross-checks on the same mutant code ---------------------- *)
 
 let liveness_config =
@@ -394,6 +675,41 @@ let test_mutant_post_publish_breaks_linearizability () =
   | None ->
       Alcotest.fail "mutant survived: post-publish mutation not caught"
 
+(* The atomicity rule's verdict on [Lost_update], cross-checked
+   dynamically: the same code, driven by DPOR, double-delivers the
+   minimum — the static lost-update finding is a real linearizability
+   violation, not a style nit. The defect's plain get-then-set pair is
+   itself an unordered write pair, so the race oracle fires on every
+   interesting trace first; silencing it ([race_oracle = false]) lets
+   the Lin verdict pronounce on the semantic damage. *)
+let two_extracts_lost_update =
+  Harness.Dpor_exp.pq_program ~name:"two-extracts-lost-update"
+    ~make:Mutant_static.lost_update_pq ~prepopulate:[ 1; 2 ] ~lin:true
+    [ [ `Extract ]; [ `Extract ] ]
+
+let test_mutant_lost_update_breaks_linearizability () =
+  (* the write-write race is real and detected when asked for... *)
+  let r = C.explore ~config:dpor_config two_extracts_lost_update in
+  (match r.C.counterexample with
+  | Some { failure = C.Race _; _ } -> ()
+  | Some { failure; _ } ->
+      Alcotest.failf "expected a write-write race, got %a" C.pp_failure
+        failure
+  | None -> Alcotest.fail "mutant survived the race oracle");
+  (* ...and past it, the lost update breaks linearizability: the same
+     minimum is delivered to both extractions *)
+  let config = { dpor_config with C.race_oracle = false } in
+  let r = C.explore ~config two_extracts_lost_update in
+  match r.C.counterexample with
+  | Some { failure = C.Invariant msg; schedule; _ } ->
+      let replay = C.run_schedule ~config two_extracts_lost_update schedule in
+      Alcotest.(check bool) "replay reproduces the violation" true
+        (replay.C.replay_failure = Some (C.Invariant msg))
+  | Some { failure; _ } ->
+      Alcotest.failf "expected an invariant violation, got %a" C.pp_failure
+        failure
+  | None -> Alcotest.fail "mutant survived: lost update not caught"
+
 (* ---- the shipped tree -------------------------------------------------- *)
 
 let test_shipped_tree_clean () =
@@ -424,10 +740,25 @@ let () =
           Alcotest.test_case "static-retry" `Quick test_static_retry;
           Alcotest.test_case "static-deadline" `Quick test_static_deadline;
         ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "aba-risk" `Quick test_aba_risk;
+          Alcotest.test_case "atomicity" `Quick test_atomicity;
+          Alcotest.test_case "atomicity across calls" `Quick
+            test_atomicity_interprocedural;
+          Alcotest.test_case "layout" `Quick test_layout;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "local module aliases resolve" `Quick
+            test_letmodule_alias_resolution;
+        ] );
       ( "waivers",
         [
           Alcotest.test_case "static findings and waivers" `Quick
             test_waivers_cover_static_findings;
+          Alcotest.test_case "waivers over the dataflow rules" `Quick
+            test_waivers_cover_new_rules;
           Alcotest.test_case "parse errors are findings" `Quick
             test_parse_error_reported;
         ] );
@@ -439,10 +770,18 @@ let () =
             test_mutant_post_publish_flagged;
           Alcotest.test_case "dropped aliased helper flagged" `Quick
             test_mutant_aliased_helper_flagged;
+          Alcotest.test_case "unstamped publish flagged" `Quick
+            test_mutant_unstamped_publish_flagged;
+          Alcotest.test_case "lost update flagged" `Quick
+            test_mutant_lost_update_flagged;
+          Alcotest.test_case "unpadded top row flagged" `Quick
+            test_mutant_unpadded_top_row_flagged;
           Alcotest.test_case "lock inversion deadlocks under liveness"
             `Quick test_mutant_lock_inverted_deadlocks;
           Alcotest.test_case "post-publish mutation breaks linearizability"
             `Quick test_mutant_post_publish_breaks_linearizability;
+          Alcotest.test_case "lost update breaks linearizability" `Quick
+            test_mutant_lost_update_breaks_linearizability;
         ] );
       ( "tree",
         [

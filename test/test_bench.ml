@@ -2,9 +2,11 @@
    bench run must produce a schema-valid [Bench_json] document that
    survives a serialize/parse round trip, malformed documents must be
    rejected, and — the regression guard this PR exists for — a fresh
-   1-thread measurement must not fall below half the committed baseline
-   medians in bench/baseline/ (the 0.5x factor absorbs shared-CI noise;
-   the committed artifacts themselves show the true before/after).
+   measurement must not fall below half the committed baseline medians
+   in bench/baseline/, compared at matching thread counts only (the
+   baseline sweep may be wider or narrower than this machine's; the
+   0.5x factor absorbs shared-CI noise and the committed artifacts
+   themselves show the true before/after).
 
    The default run keeps the measured work tiny so `dune runtest` stays
    fast; set BENCH_FULL=1 for the full ops count and the mixed panel. *)
@@ -150,19 +152,39 @@ let baseline_not_regressed () =
       (match Harness.Bench_json.validate baseline with
       | Ok () -> ()
       | Error e -> Alcotest.failf "%s: baseline invalid: %s" path e);
+      (* keyed to matching thread counts only: the baseline may carry a
+         wider sweep (4/8-thread panels from a wide machine) than this
+         run measures, and vice versa — compare exactly the counts
+         present in both documents *)
       let medians () =
         let doc = bench_doc ~warmup:cmp_warmup ~trials:cmp_trials panel in
-        List.map
+        List.concat_map
           (fun m ->
             let name = (m.Harness.Pq.make ~capacity:16).name in
-            let fresh =
-              Harness.Bench_json.median_of doc ~structure:name ~threads:1
-            and base =
-              Harness.Bench_json.median_of baseline ~structure:name ~threads:1
+            let common =
+              Harness.Bench_json.thread_counts_of doc ~structure:name
+              |> List.filter (fun t ->
+                     List.mem t
+                       (Harness.Bench_json.thread_counts_of baseline
+                          ~structure:name))
             in
-            match (fresh, base) with
-            | Some f, Some b -> (name, f, b)
-            | _ -> Alcotest.failf "%s/%s: missing median" (tag panel) name)
+            if common = [] then
+              Alcotest.failf "%s/%s: no matching thread counts" (tag panel)
+                name;
+            List.map
+              (fun t ->
+                let fresh =
+                  Harness.Bench_json.median_of doc ~structure:name ~threads:t
+                and base =
+                  Harness.Bench_json.median_of baseline ~structure:name
+                    ~threads:t
+                in
+                match (fresh, base) with
+                | Some f, Some b -> (Printf.sprintf "%s@%dt" name t, f, b)
+                | _ ->
+                    Alcotest.failf "%s/%s@%dt: missing median" (tag panel)
+                      name t)
+              common)
           structures
       in
       let below (_, f, b) = f < 0.5 *. b in
@@ -222,17 +244,33 @@ let overload_not_regressed () =
       | Error e -> Alcotest.failf "%s: baseline invalid: %s" path e);
       let medians () =
         let doc = overload_doc ~warmup:cmp_warmup ~trials:cmp_trials scenario in
-        List.map
+        List.concat_map
           (fun m ->
             let name = (m.Harness.Pq.make ~capacity:16).name in
-            let fresh =
-              Harness.Bench_json.median_of doc ~structure:name ~threads:1
-            and base =
-              Harness.Bench_json.median_of baseline ~structure:name ~threads:1
+            let common =
+              Harness.Bench_json.thread_counts_of doc ~structure:name
+              |> List.filter (fun t ->
+                     List.mem t
+                       (Harness.Bench_json.thread_counts_of baseline
+                          ~structure:name))
             in
-            match (fresh, base) with
-            | Some f, Some b -> (name, f, b)
-            | _ -> Alcotest.failf "overload_%s/%s: missing median" stag name)
+            if common = [] then
+              Alcotest.failf "overload_%s/%s: no matching thread counts" stag
+                name;
+            List.map
+              (fun t ->
+                let fresh =
+                  Harness.Bench_json.median_of doc ~structure:name ~threads:t
+                and base =
+                  Harness.Bench_json.median_of baseline ~structure:name
+                    ~threads:t
+                in
+                match (fresh, base) with
+                | Some f, Some b -> (Printf.sprintf "%s@%dt" name t, f, b)
+                | _ ->
+                    Alcotest.failf "overload_%s/%s@%dt: missing median" stag
+                      name t)
+              common)
           overload_structures
       in
       let below (_, f, b) = f < 0.5 *. b in

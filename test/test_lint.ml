@@ -405,6 +405,93 @@ let test_format () =
     (List.map (fun f -> f.Lint_rules.line) fs);
   check_count "clean file" 0 (scan "lib/core/x.ml" "let x = 1\n")
 
+(* ---- engine dedupe ------------------------------------------------------ *)
+
+(* One defect, one finding: when the token engine and the AST engine
+   flag the same file:line for sibling rules (cas-discard vs the
+   protocol analyses), the merged scan keeps the AST finding — it names
+   the protocol — and drops the token one. Unrelated co-located
+   findings still both surface. *)
+let test_sibling_dedupe () =
+  let src =
+    "let mark q =\n\
+    \  let root = M.get q in\n\
+    \  ignore (M.cas q root root)\n"
+  in
+  (* the token engine alone does flag the discarded CAS... *)
+  check_count "token cas-discard fires alone" 1
+    (List.filter
+       (fun f -> f.Lint_rules.rule = "cas-discard")
+       (scan "lib/core/x.ml" src));
+  (* ...but the merged scan reports the one defect once, as the AST
+     sibling *)
+  let merged = Analysis.scan ~path:"lib/core/x.ml" src in
+  check_count "one finding for the one defect" 1 merged;
+  Alcotest.(check string) "the AST sibling wins" "stale-publish"
+    (List.hd merged).Lint_rules.rule;
+  (* unrelated rules co-located on one line are not siblings: a
+     boundary breach and a lost update are two defects, two findings *)
+  let two_defects =
+    "let bump q =\n\
+    \  let n = Atomic.get q in\n\
+    \  Atomic.set q (n + 1)\n"
+  in
+  let merged = Analysis.scan ~path:"lib/core/x.ml" two_defects in
+  check_count "boundary kept" 2
+    (List.filter (fun f -> f.Lint_rules.rule = "boundary") merged);
+  check_count "atomicity kept" 1
+    (List.filter (fun f -> f.Lint_rules.rule = "atomicity") merged)
+
+(* ---- mound-lint/1 JSON -------------------------------------------------- *)
+
+(* The [repro lint --json] document, validated the way the bench
+   artifacts are: emit, self-validate, parse the emitted string back
+   through the Bench_json parser, re-validate, and compare the decoded
+   findings field by field. *)
+let test_lint_json_roundtrip () =
+  let findings =
+    Analysis.scan ~path:"lib/core/x.ml"
+      "let bump q =\n\
+      \  let n = R.Atomic.get q in\n\
+      \  R.Atomic.set q (n + 1)\n"
+  in
+  check_count "fixture yields a finding" 1 findings;
+  let doc = Harness.Lint_json.doc ~roots:[ "lib" ] ~rule:None findings in
+  (match Harness.Lint_json.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "emitted document invalid: %s" e);
+  let reparsed = Harness.Bench_json.parse (Harness.Bench_json.to_string doc) in
+  (match Harness.Lint_json.validate reparsed with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reparsed document invalid: %s" e);
+  Alcotest.(check bool) "findings survive the round trip" true
+    (Harness.Lint_json.findings_of reparsed = findings);
+  (* narrowed runs record the rule *)
+  let narrowed =
+    Harness.Lint_json.doc ~roots:[ "lib" ] ~rule:(Some "atomicity") findings
+  in
+  (match Harness.Lint_json.validate narrowed with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "narrowed document invalid: %s" e);
+  (* malformed documents are rejected: count drift, missing schema *)
+  let tamper k v =
+    match doc with
+    | Harness.Bench_json.Obj kvs ->
+        Harness.Bench_json.Obj
+          (List.filter_map
+             (fun (k', v') ->
+               if k' = k then Option.map (fun v -> (k, v)) v
+               else Some (k', v'))
+             kvs)
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "count drift rejected" true
+    (Result.is_error
+       (Harness.Lint_json.validate
+          (tamper "count" (Some (Harness.Bench_json.Num 99.)))));
+  Alcotest.(check bool) "missing schema rejected" true
+    (Result.is_error (Harness.Lint_json.validate (tamper "schema" None)))
+
 (* ---- the shipped tree -------------------------------------------------- *)
 
 let test_shipped_tree_clean () =
@@ -450,6 +537,16 @@ let () =
       ( "mutable-atomic",
         [ Alcotest.test_case "heuristic" `Quick test_mutable_atomic ] );
       ("format", [ Alcotest.test_case "rules" `Quick test_format ]);
+      ( "dedupe",
+        [
+          Alcotest.test_case "token/AST siblings deduped" `Quick
+            test_sibling_dedupe;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "mound-lint/1 round trip" `Quick
+            test_lint_json_roundtrip;
+        ] );
       ( "tree",
         [
           Alcotest.test_case "shipped tree clean" `Quick
