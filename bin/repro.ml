@@ -811,7 +811,19 @@ let progress_cmd =
 
 (* ---------- lint: token rules + AST analyses ---------- *)
 
-let run_lint rule json roots =
+(* One rule per line, tab-separated name/engine/description, straight
+   from the registry — what CI and the README table are checked against
+   so neither can drift from the registered rule set. *)
+let run_list_rules () =
+  List.iter
+    (fun (name, engine, descr) ->
+      Printf.printf "%s\t%s\t%s\n" name
+        (match engine with Analysis.Ast -> "ast" | Analysis.Token -> "token")
+        descr)
+    Analysis.rule_table
+
+let run_lint list_rules rule json roots =
+  if list_rules then (run_list_rules (); exit 0);
   let roots = if roots = [] then [ "lib" ] else roots in
   let findings = Analysis.scan_trees roots in
   let findings =
@@ -853,6 +865,14 @@ let lint_cmd =
       & info [ "json" ]
           ~doc:"Emit machine-readable JSON (schema mound-lint/1).")
   in
+  let list_rules_arg =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ]
+          ~doc:
+            "Print the registered rule table (one rule per line: \
+             name, engine, description, tab-separated) and exit.")
+  in
   let roots_arg =
     Arg.(
       value & pos_all dir []
@@ -861,10 +881,11 @@ let lint_cmd =
   let doc =
     "Run both lint engines (token rules and the AST analyses: \
      lock-order, publication safety, helping discipline, and the \
-     dataflow rules aba-risk / atomicity / layout) over source trees."
+     dataflow rules aba-risk / atomicity / layout / escape / \
+     static-race) over source trees."
   in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const run_lint $ rule_arg $ json_arg $ roots_arg)
+    Term.(const run_lint $ list_rules_arg $ rule_arg $ json_arg $ roots_arg)
 
 (* ---------- everything ---------- *)
 

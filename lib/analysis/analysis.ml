@@ -31,15 +31,51 @@ type finding = Lint_rules.finding = {
 
 let pp_finding = Lint_rules.pp_finding
 
+(* The single registry every consumer derives from: [repro lint --rule]
+   completion, [--list-rules] output, the README rule table (CI greps
+   each name against it), and the engine split below. Adding a rule
+   means adding a row here — nothing else can drift. *)
+type engine = Ast | Token
+
+let rule_table : (string * engine * string) list =
+  [
+    ("lock-order", Ast, "lock acquired above an already-held ancestor: inversion deadlock");
+    ("lock-leak", Ast, "path returns with an acquired lock never released");
+    ("stale-publish", Ast, "CASes back a value read from the shared structure without re-validation");
+    ("post-publish-mutation", Ast, "plain field write through a record already published to other threads");
+    ("static-retry", Ast, "call-graph CAS retry cycle reaching neither helping nor backoff");
+    ("static-deadline", Ast, "unbounded retry cycle that never consults a deadline");
+    ("aba-risk", Ast, "CAS expected value from an un-revalidated read of a recycled location");
+    ("atomicity", Ast, "plain set stores a value computed from the same location's atomic read");
+    ("layout", Ast, "adjacent hot fields share a cache line across CAS-performing functions");
+    ("escape", Ast, "mutable location leaves its owning domain: spawn-captured, published, or module-global");
+    ("static-race", Ast, "plain read/write of an escaped location outside any lock-held region");
+    ("parse", Ast, "source does not parse; AST analyses skipped for the file");
+    ("boundary", Token, "direct OS/clock/domain primitive where the Runtime functor is required");
+    ("mutable-atomic", Token, "mutable record field in concurrent code that should be Atomic.t");
+    ("dirty-spin", Token, "loop re-reading a dirty flag without helping the marked node");
+    ("cas-discard", Token, "CAS result discarded: failure path never observed");
+    ("retry-no-backoff", Token, "retry loop without a backoff call");
+    ("deadline-blind", Token, "retry loop that never checks a deadline or until bound");
+    ("alloc-in-retry", Token, "fresh allocation inside a CAS retry loop");
+    ("format", Token, "tab/trailing-whitespace/final-newline hygiene");
+    ("waiver", Token, "lint: allow marker malformed, reasonless, or stale");
+  ]
+
+let rule_doc name =
+  List.find_map
+    (fun (n, _, d) -> if n = name then Some d else None)
+    rule_table
+
 let static_rules =
-  [ "lock-order"; "lock-leak"; "stale-publish"; "post-publish-mutation";
-    "static-retry"; "static-deadline"; "aba-risk"; "atomicity"; "layout";
-    "parse" ]
+  List.filter_map
+    (fun (n, e, _) -> if e = Ast then Some n else None)
+    rule_table
 
 let token_rules =
-  [ "boundary"; "mutable-atomic"; "dirty-spin"; "cas-discard";
-    "retry-no-backoff"; "deadline-blind"; "alloc-in-retry"; "format";
-    "waiver" ]
+  List.filter_map
+    (fun (n, e, _) -> if e = Token then Some n else None)
+    rule_table
 
 (* The AST findings for a set of implementation sources, keyed by file.
    Exempt paths contribute summaries but never findings. *)
@@ -60,9 +96,11 @@ let static_findings (files : (string * string) list) :
   in
   let fns = List.concat_map Summary.of_parsed parsed in
   let cg = Callgraph.build fns in
+  let esc = Escape.analyze parsed cg in
   let all =
     Lock_order.scan cg @ Publication.scan cg @ Helping.scan cg
     @ Aba_risk.scan cg @ Atomicity.scan cg @ Layout.scan parsed cg
+    @ Escape.scan esc @ Races.scan esc
     @ List.rev !parse_errors
   in
   (* nested functions are walked both standalone and inline in their
@@ -90,6 +128,7 @@ let sibling_rules =
     ("deadline-blind", [ "static-deadline"; "static-retry" ]);
     ("dirty-spin", [ "static-retry"; "aba-risk" ]);
     ("cas-discard", [ "atomicity"; "aba-risk"; "stale-publish" ]);
+    ("mutable-atomic", [ "escape"; "static-race" ]);
   ]
 
 let dedupe_tokens ~(extra : finding list) (raw : Lint_rules.raw) :

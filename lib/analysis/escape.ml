@@ -1,0 +1,687 @@
+(** Interprocedural domain-escape analysis (rule [escape]).
+
+    Every analysis so far leans on [Atomic.t] to mark the shared world.
+    The ROADMAP's next arc — per-domain stickiness caches, the
+    flat-array plane refactor, sharded ingress — introduces {e plain}
+    mutable state whose safety argument is "it never leaves its owning
+    domain". This module is the checker for that argument: a lattice
+    over mutable {e location keys} (field names and variable names,
+    matched globally by string, the same syntactic keying as
+    {!Summary.loc_write_key} and the same deliberate collision caveat
+    as {!Layout}):
+
+    {v Local  <  Captured  <  Published  <  Global v}
+
+    - [Local]: never observed leaving a function — the default;
+    - [Captured]: mentioned inside a closure handed to a
+      [Domain.spawn]-shaped call — the spawned domain can reach it;
+    - [Published]: stored into a shared sink — a CAS fresh-value slot,
+      a non-release dotted [set], a one-argument dotted [make]
+      ([Atomic.make r]), a store into an already-shared record, or an
+      argument forwarded (transitively, through {!Summary.fshares})
+      into such a sink by a callee;
+    - [Global]: a module-level [let] binding a fresh mutable value
+      ([ref]/[Array.make]/array literal/record with [mutable] fields)
+      — reachable by every domain that can see the module.
+
+    Seeds come from three passes: type declarations (which field labels
+    are [mutable] anywhere, and where each record's first mutable label
+    sits — the anchor the [mutable-atomic] token rule uses, so the two
+    rules land on the same line and the engine-dedupe keeps one);
+    module-level bindings; and a {!Dataflow} pass per function that
+    also records every {e plain access} — [r.f]/[r.f <- v] on mutable
+    labels, [!]/[:=]/[incr]/[decr], [Array]/[Bytes] [get]/[set] — with
+    the lock-held counter and the pre-publication freshness of the
+    receiver at that moment. {!Races} turns those accesses into
+    [static-race] findings; this module reports each escaped key once,
+    at its seed site.
+
+    Propagation is interprocedural two ways: {!Callgraph}'s transitive
+    [escapes] effect marks call paths that reach any escape site, and a
+    per-parameter fixpoint over resolved call edges extends
+    {!Summary.fcaptures}/{!Summary.fshares} so a wrapper that merely
+    forwards its argument into [Atomic.set] still publishes it.
+
+    Soundness caveats, by design and documented in DESIGN.md §12: keys
+    are strings matched globally (two types sharing a mutable label
+    alias each other); a spawned closure's {e calls} into other
+    functions are not expanded (only the syntactic closure body is
+    scanned for captured keys); aliasing through data structures is
+    invisible; [Hashtbl] and friends are neither seeds nor accesses.
+    Each hides an escape at worst — consistent with the engine's
+    under-approximation discipline — except the global key matching,
+    which can over-approximate and is exactly what reasoned waivers
+    are for. *)
+
+open Parsetree
+
+let rule = "escape"
+
+type level = Local | Captured | Published | Global
+
+let rank = function Local -> 0 | Captured -> 1 | Published -> 2 | Global -> 3
+
+let level_name = function
+  | Local -> "domain-local"
+  | Captured -> "spawn-captured"
+  | Published -> "published"
+  | Global -> "module-global"
+
+type site = { sfile : string; sline : int; swhy : string }
+
+type access = {
+  afile : string;
+  afn : string;  (* dotted path of the accessing function *)
+  aline : int;
+  akey : string;
+  awrite : bool;
+  aheld : bool;  (* some lock acquired on every path to this access *)
+  afresh : bool;  (* receiver still provably pre-publication *)
+}
+
+type t = {
+  cg : Callgraph.t;
+  class_ : (string, level * site) Hashtbl.t;
+  accesses : access list;
+  writers : (string, string list) Hashtbl.t;
+      (* key -> distinct functions that plainly write it, the
+         single-writer census behind the info downgrade *)
+  mutable_labels : (string, unit) Hashtbl.t;
+}
+
+let level_of t key =
+  match Hashtbl.find_opt t.class_ key with
+  | Some (l, _) -> l
+  | None -> Local
+
+let seed_of t key = Option.map snd (Hashtbl.find_opt t.class_ key)
+
+let raise_to t key lvl site =
+  match Hashtbl.find_opt t.class_ key with
+  | Some (l, _) when rank l >= rank lvl -> ()
+  | _ -> Hashtbl.replace t.class_ key (lvl, site)
+
+(* ---- pass 1: type declarations ----------------------------------------- *)
+
+type decl = {
+  dfile : string;
+  dnames : string list;  (* every label of the record *)
+  dmuts : string list;  (* its [mutable] labels *)
+  dfirst_mut : int option;  (* line of the first mutable label — the
+                               [mutable-atomic] token anchor *)
+}
+
+type labels_index = {
+  decls : decl list;
+  muts : (string, unit) Hashtbl.t;  (* labels mutable in ANY decl *)
+  file_labels : (string * string, bool) Hashtbl.t;
+      (* (file, label) -> declared mutable in that file; present iff
+         the file declares the label at all *)
+}
+
+let label_tables parsed : labels_index =
+  let muts = Hashtbl.create 64 in
+  let file_labels = Hashtbl.create 64 in
+  let decls =
+    List.concat_map
+      (fun (p : Frontend.parsed) ->
+        List.map
+          (fun (_tname, labels) ->
+            let mut_l =
+              List.filter
+                (fun (l : label_declaration) ->
+                  l.pld_mutable = Asttypes.Mutable)
+                labels
+            in
+            List.iter
+              (fun (l : label_declaration) ->
+                let n = l.pld_name.txt in
+                let m = l.pld_mutable = Asttypes.Mutable in
+                if m then Hashtbl.replace muts n ();
+                let k = (p.p_path, n) in
+                let cur =
+                  Hashtbl.find_opt file_labels k
+                  |> Option.value ~default:false
+                in
+                Hashtbl.replace file_labels k (cur || m))
+              labels;
+            {
+              dfile = p.p_path;
+              dnames =
+                List.map (fun (l : label_declaration) -> l.pld_name.txt)
+                  labels;
+              dmuts =
+                List.map (fun (l : label_declaration) -> l.pld_name.txt)
+                  mut_l;
+              dfirst_mut =
+                Option.map
+                  (fun (l : label_declaration) ->
+                    Frontend.line_of_loc l.pld_loc)
+                  (List.nth_opt mut_l 0);
+            })
+          (Layout.decls_of_structure p.p_ast))
+      parsed
+  in
+  { decls; muts; file_labels }
+
+(* Is a field access on [field] in [file] an access to mutable state?
+   The file's own declarations win — [lf_mound]'s immutable [list]
+   label is not [seq_mound]'s [mutable list] — falling back to the
+   global table only for labels the file never declares itself. *)
+let mutable_field idx ~file field =
+  match Hashtbl.find_opt idx.file_labels (file, field) with
+  | Some m -> m
+  | None -> Hashtbl.mem idx.muts field
+
+(* Match a record literal (its label names) to its declaration:
+   candidates are decls covering every literal label, same-file decls
+   preferred. Returns the literal's mutable keys and the anchor —
+   the matched decl's first-mutable-label line, where the
+   [mutable-atomic] token rule also lands, so the sibling dedupe
+   collapses the two rules into one finding. *)
+let literal_info idx ~file labels =
+  if labels = [] then ([], None)
+  else
+    let covers d = List.for_all (fun l -> List.mem l d.dnames) labels in
+    let cands = List.filter covers idx.decls in
+    let local = List.filter (fun d -> d.dfile = file) cands in
+    let chosen = if local <> [] then local else cands in
+    let mut_keys =
+      List.filter
+        (fun l -> List.exists (fun d -> List.mem l d.dmuts) chosen)
+        labels
+    in
+    let anchor =
+      List.find_map
+        (fun d ->
+          Option.map (fun line -> (d.dfile, line)) d.dfirst_mut)
+        chosen
+    in
+    (mut_keys, anchor)
+
+(* ---- pass 2: module-level bindings -------------------------------------- *)
+
+(* The keys a module-level [let name = e] makes global: the binding's
+   own name for a fresh cell ([ref]/[Array.make]/[Bytes.create]/array
+   literal), the mutable labels for a record literal matched to its
+   declaration. Functions, immutable values, and all-constant array
+   literals (read-only lookup tables) yield nothing. *)
+let global_keys idx ~file name e =
+  let is_const e =
+    match (Summary.strip_casts e).pexp_desc with
+    | Pexp_constant _ -> true
+    | _ -> false
+  in
+  match (Summary.strip_casts e).pexp_desc with
+  | Pexp_apply (head, _) -> (
+      match Summary.flatten_ident head with
+      | Some [ "ref" ] -> [ name ]
+      | Some segs when List.length segs >= 2 -> (
+          match List.rev segs with
+          | ("make" | "create" | "init") :: m :: _
+            when m = "Array" || m = "Bytes" ->
+              [ name ]
+          | _ -> [])
+      | _ -> [])
+  | Pexp_array (_ :: _ as els) when not (List.for_all is_const els) ->
+      [ name ]
+  | Pexp_record (fields, _) ->
+      fst
+        (literal_info idx ~file
+           (List.filter_map
+              (fun ((lid : Longident.t Asttypes.loc), _) ->
+                match lid.txt with
+                | Longident.Lident f -> Some f
+                | _ -> None)
+              fields))
+  | _ -> []
+
+(* Functor bodies are deliberately NOT descended into: their [let]s are
+   per-application instance state — the {!Stats.Ops}-style record
+   threaded by value — visible to this analysis only when it escapes
+   through the instance, not module-global. Plain submodules are. *)
+let rec globals_of_module (m : module_expr) =
+  match m.pmod_desc with
+  | Pmod_structure items -> globals_of_structure items
+  | Pmod_constraint (m, _) -> globals_of_module m
+  | _ -> []
+
+and globals_of_structure items =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.filter_map
+            (fun vb ->
+              let ps, _ = Summary.fn_shape vb.pvb_expr in
+              if ps <> [] then None
+              else
+                match Summary.pat_var vb.pvb_pat with
+                | Some name ->
+                    Some
+                      (name, vb.pvb_expr, Frontend.line_of_loc vb.pvb_loc)
+                | None -> None)
+            vbs
+      | Pstr_module mb -> globals_of_module mb.pmb_expr
+      | Pstr_recmodule mbs ->
+          List.concat_map (fun mb -> globals_of_module mb.pmb_expr) mbs
+      | _ -> [])
+    items
+
+(* ---- pass 3: per-parameter capture/share fixpoint ----------------------- *)
+
+(* [fcaptures]/[fshares] list the parameters a function directly hands
+   to a spawn closure or a shared sink; this fixpoint closes them over
+   resolved call edges, so [let publish r = Atomic.set cell r] makes
+   every caller's forwarded argument shared too. Positional matching of
+   [Nolabel] arguments to parameters — partial application and labels
+   under-approximate, consistent with the engine. *)
+let close_params (cg : Callgraph.t) =
+  let fns = Callgraph.fns cg in
+  let cap = Array.map (fun (f : Summary.fn) -> f.fcaptures) fns in
+  let share = Array.map (fun (f : Summary.fn) -> f.fshares) fns in
+  let edges = ref [] in
+  Array.iteri
+    (fun i (f : Summary.fn) ->
+      let it = Ast_iterator.default_iterator in
+      let expr it' (e : expression) =
+        (match e.pexp_desc with
+        | Pexp_apply (head, args) -> (
+            match Summary.flatten_ident head with
+            | Some segs -> (
+                match
+                  Callgraph.resolve ~from_file:f.ffile cg
+                    (Summary.resolve_call f.fscope segs)
+                with
+                | Some j ->
+                    List.iteri
+                      (fun ai a ->
+                        match (Summary.strip_casts a).pexp_desc with
+                        | Pexp_ident { txt = Longident.Lident v; _ } -> (
+                            match Summary.param_index f.fparams v with
+                            | Some pi -> edges := (i, pi, j, ai) :: !edges
+                            | None -> ())
+                        | _ -> ())
+                      (Summary.nolabel_args args)
+                | None -> ())
+            | None -> ())
+        | _ -> ());
+        it.expr it' e
+      in
+      let it = { it with expr } in
+      it.expr it f.fbody)
+    fns;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (i, pi, j, ai) ->
+        let prop (tbl : int list array) =
+          if List.mem ai tbl.(j) && not (List.mem pi tbl.(i)) then begin
+            tbl.(i) <- pi :: tbl.(i);
+            changed := true
+          end
+        in
+        prop cap;
+        prop share)
+      !edges
+  done;
+  (cap, share)
+
+(* ---- pass 4: per-function dataflow -------------------------------------- *)
+
+(* Mutable keys touched inside a spawned closure's own body: field
+   assignments, mutable-label reads, ref/array primitives. Calls made
+   from the closure are not expanded — documented under-approximation. *)
+let closure_keys idx ~file e =
+  let out = ref [] in
+  let add k = if not (List.mem k !out) then out := k :: !out in
+  let it = Ast_iterator.default_iterator in
+  let expr it' (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_setfield (_, { txt; _ }, _) -> (
+        match List.rev (try Longident.flatten txt with _ -> []) with
+        | f :: _ -> add f
+        | [] -> ())
+    | Pexp_field (_, { txt; _ }) -> (
+        match List.rev (try Longident.flatten txt with _ -> []) with
+        | f :: _ when mutable_field idx ~file f -> add f
+        | _ -> ())
+    | Pexp_apply (head, args) -> (
+        let nargs = Summary.nolabel_args args in
+        let base () =
+          match nargs with
+          | a :: _ -> Option.iter add (Summary.base_var a)
+          | [] -> ()
+        in
+        match Summary.flatten_ident head with
+        | Some [ ("!" | ":=" | "incr" | "decr") ] -> base ()
+        | Some [ ("Array" | "Bytes"); ("get" | "set" | "unsafe_get" | "unsafe_set") ]
+          ->
+            base ()
+        | _ -> ())
+    | _ -> ());
+    it.expr it' e
+  in
+  let it = { it with expr } in
+  it.expr it e;
+  !out
+
+type collected = {
+  mutable seeds : (string * level * site) list;
+  mutable accs : access list;
+  mutable stores : (string list * string list * int) list;
+      (* (dst keys, freshly-stored src keys, line): resolved into
+         Published once the dst is known shared, after all seeds land *)
+}
+
+let scan_fn (cg : Callgraph.t) (idx : labels_index) (cap : int list array)
+    (share : int list array) (out : collected) (f : Summary.fn) =
+  let fnname = String.concat "." f.fpath in
+  let resolve segs =
+    Callgraph.resolve ~from_file:f.ffile cg
+      (Summary.resolve_call f.fscope segs)
+  in
+  let seed key lvl site = out.seeds <- (key, lvl, site) :: out.seeds in
+  (* label keys anchor at their matched decl's first-mutable-label line
+     — the [mutable-atomic] anchor — fresh-cell variables at [line] *)
+  let seed_at key lvl anchor line why =
+    let site =
+      match anchor with
+      | Some (afile, aline) -> { sfile = afile; sline = aline; swhy = why }
+      | None -> { sfile = f.ffile; sline = line; swhy = why }
+    in
+    seed key lvl site
+  in
+  let is_fresh ctx e =
+    match Summary.base_var e with
+    | Some v -> (
+        match Hashtbl.find_opt ctx.Dataflow.facts v with
+        | Some (Dataflow.Fresh_rec _) -> true
+        | _ -> false)
+    | None -> false
+  in
+  let record_access (ctx : Dataflow.ctx) ~line ~write key ~fresh =
+    out.accs <-
+      {
+        afile = f.ffile;
+        afn = fnname;
+        aline = line;
+        akey = key;
+        awrite = write;
+        aheld = ctx.held > 0;
+        afresh = fresh;
+      }
+      :: out.accs
+  in
+  (* publishable keys of a stored value — (keys, decl anchor): the
+     mutable labels of a fresh record per its matched declaration, or
+     the variable naming a fresh ref/array cell *)
+  let pub_keys ctx v =
+    match Dataflow.fact_of ctx v with
+    | Some (Dataflow.Fresh_rec { labels = []; _ }) -> (
+        match (Summary.strip_casts v).pexp_desc with
+        | Pexp_ident { txt = Longident.Lident var; _ } -> ([ var ], None)
+        | _ -> ([], None))
+    | Some (Dataflow.Fresh_rec { labels; _ }) ->
+        literal_info idx ~file:f.ffile labels
+    | _ -> ([], None)
+  in
+  let classify_lock ~segs =
+    match segs with
+    | [ "Mutex"; ("lock" | "try_lock") ] -> Dataflow.Acquire
+    | [ "Mutex"; "unlock" ] -> Dataflow.Release
+    | _ -> (
+        match resolve segs with
+        | Some j ->
+            let te = Callgraph.trans_effects cg j in
+            if te.Summary.acquires_lock && not te.Summary.releases_lock then
+              Dataflow.Acquire
+            else if te.Summary.releases_lock && not te.Summary.acquires_lock
+            then Dataflow.Release
+            else Dataflow.Neither
+        | None -> Dataflow.Neither)
+  in
+  let h_set ctx ~line ~loc:_ ~value =
+    let keys, anchor = pub_keys ctx value in
+    List.iter
+      (fun k -> seed_at k Published anchor line "stored by an atomic set")
+      keys
+  in
+  let h_cas ctx ~line ~op nargs =
+    List.iter
+      (fun pos ->
+        match List.nth_opt nargs pos with
+        | Some v ->
+            let keys, anchor = pub_keys ctx v in
+            List.iter
+              (fun k ->
+                seed_at k Published anchor line
+                  "installed as a CAS fresh value")
+              keys
+        | None -> ())
+      (Summary.fresh_positions op)
+  in
+  let h_call ctx ~line ~segs nargs =
+    let last = List.nth segs (List.length segs - 1) in
+    (* plain-access primitives *)
+    (let read a =
+       Option.iter
+         (fun v -> record_access ctx ~line ~write:false v ~fresh:(is_fresh ctx a))
+         (Summary.base_var a)
+     and write a =
+       Option.iter
+         (fun v -> record_access ctx ~line ~write:true v ~fresh:(is_fresh ctx a))
+         (Summary.base_var a)
+     in
+     match (segs, nargs) with
+     | [ "!" ], [ a ] -> read a
+     | [ ":=" ], a :: _ | [ ("incr" | "decr") ], [ a ] -> write a
+     | [ ("Array" | "Bytes"); ("get" | "unsafe_get") ], a :: _ -> read a
+     | [ ("Array" | "Bytes"); ("set" | "unsafe_set") ], a :: _ -> write a
+     | _ -> ());
+    (* a spawn-shaped call: whatever mutable keys the closure touches
+       are reachable from the new domain *)
+    if last = "spawn" then
+      List.iter
+        (fun a ->
+          if Summary.is_closure a then
+            List.iter
+              (fun k ->
+                seed k Captured
+                  {
+                    sfile = f.ffile;
+                    sline = line;
+                    swhy = "captured by a spawned closure";
+                  })
+              (closure_keys idx ~file:f.ffile a))
+        nargs;
+    (* Atomic.make-shaped constructor: publishes its single argument *)
+    if List.length segs >= 2 && last = "make" && List.length nargs = 1 then begin
+      let keys, anchor = pub_keys ctx (List.hd nargs) in
+      List.iter
+        (fun k -> seed_at k Published anchor line "boxed by an atomic make")
+        keys
+    end;
+    (* a fresh mutable value forwarded into a callee whose (transitive)
+       parameter position captures or shares it — immutable arguments
+       carry no Fresh_rec fact and seed nothing *)
+    match resolve segs with
+    | Some j ->
+        let callee = String.concat "." (Callgraph.fn cg j).fpath in
+        List.iteri
+          (fun ai a ->
+            if List.mem ai share.(j) || List.mem ai cap.(j) then
+              let keys, anchor = pub_keys ctx a in
+              List.iter
+                (fun k ->
+                  if List.mem ai share.(j) then
+                    seed_at k Published anchor line
+                      (Printf.sprintf "shared by a call into %s" callee);
+                  if List.mem ai cap.(j) then
+                    seed k Captured
+                      {
+                        sfile = f.ffile;
+                        sline = line;
+                        swhy =
+                          Printf.sprintf
+                            "spawn-captured by a call into %s" callee;
+                      })
+                keys)
+          nargs
+    | None -> ()
+  in
+  let h_field ctx ~line ~record ~field =
+    if mutable_field idx ~file:f.ffile field then
+      record_access ctx ~line ~write:false field ~fresh:(is_fresh ctx record)
+  in
+  let h_setfield ctx ~line ~record ~field ~value =
+    record_access ctx ~line ~write:true field ~fresh:(is_fresh ctx record);
+    let dst =
+      field
+      ::
+      (match Summary.base_var record with Some v -> [ v ] | None -> [])
+    in
+    let src, _ = pub_keys ctx value in
+    if src <> [] then out.stores <- (dst, src, line) :: out.stores
+  in
+  Dataflow.run
+    { Dataflow.h_set; h_cas; h_call; h_field; h_setfield; classify_lock }
+    f.fbody
+
+(* ---- the analysis ------------------------------------------------------- *)
+
+let analyze (parsed : Frontend.parsed list) (cg : Callgraph.t) : t =
+  let idx = label_tables parsed in
+  let t =
+    {
+      cg;
+      class_ = Hashtbl.create 64;
+      accesses = [];
+      writers = Hashtbl.create 64;
+      mutable_labels = idx.muts;
+    }
+  in
+  (* module-level bindings *)
+  List.iter
+    (fun (p : Frontend.parsed) ->
+      List.iter
+        (fun (name, e, line) ->
+          List.iter
+            (fun k ->
+              raise_to t k Global
+                {
+                  sfile = p.p_path;
+                  sline = line;
+                  swhy =
+                    Printf.sprintf "module-level mutable binding %s" name;
+                })
+            (global_keys idx ~file:p.p_path name e))
+        (globals_of_structure p.p_ast))
+    parsed;
+  (* function bodies: seeds, accesses, deferred store edges *)
+  let cap, share = close_params cg in
+  let out = { seeds = []; accs = []; stores = [] } in
+  Array.iter (scan_fn cg idx cap share out) (Callgraph.fns cg);
+  List.iter (fun (k, lvl, site) -> raise_to t k lvl site) (List.rev out.seeds);
+  (* a fresh value stored into an already-shared record escapes with
+     it; iterated because one store can make the next one's dst shared *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (dst, src, line) ->
+        if List.exists (fun d -> rank (level_of t d) >= rank Captured) dst
+        then
+          List.iter
+            (fun k ->
+              if rank (level_of t k) < rank Published then begin
+                raise_to t k Published
+                  {
+                    sfile = "";
+                    sline = line;
+                    swhy = "stored into an already-shared record";
+                  };
+                changed := true
+              end)
+            src)
+      out.stores
+  done;
+  (* nested functions are walked standalone and folded into their host;
+     keep one access per (file, line, key, kind), attributed to the
+     longest function path — the innermost owner *)
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      let k = (a.afile, a.aline, a.akey, a.awrite) in
+      match Hashtbl.find_opt best k with
+      | Some b when String.length b.afn >= String.length a.afn -> ()
+      | _ -> Hashtbl.replace best k a)
+    out.accs;
+  let accesses =
+    Hashtbl.fold (fun _ a l -> a :: l) best []
+    |> List.sort (fun a b ->
+           (* writes sort before reads at the same site, so the
+              finding a read-modify-write anchors is the write —
+              deterministically, whatever the table's fold order *)
+           compare
+             (a.afile, a.aline, a.akey, not a.awrite)
+             (b.afile, b.aline, b.akey, not b.awrite))
+  in
+  List.iter
+    (fun a ->
+      if a.awrite && not a.afresh then
+        let cur =
+          Hashtbl.find_opt t.writers a.akey |> Option.value ~default:[]
+        in
+        if not (List.mem a.afn cur) then
+          Hashtbl.replace t.writers a.akey (a.afn :: cur))
+    accesses;
+  { t with accesses }
+
+let single_writer t key =
+  match Hashtbl.find_opt t.writers key with
+  | None | Some [ _ ] -> true
+  | Some _ -> false
+
+(* ---- findings ----------------------------------------------------------- *)
+
+(* One finding per escaped key, at its seed site. Store-edge sites have
+   no file of their own (the dst's classification may come from
+   anywhere); they are reported at the storing line's file via the
+   accesses list when possible, else skipped — the [static-race]
+   findings on their accesses still surface the problem.
+
+   A key whose every recorded access is protected — inside a lock-held
+   region or still fresh — is escaping under an evident discipline:
+   Mutex-guarded shared state is the sanctioned alternative to Atomic,
+   not a finding. Keys with no recorded accesses at all stay findings
+   (the accesses may be beyond the walker's reach). *)
+let scan (t : t) : Lint_rules.finding list =
+  let disciplined key =
+    let accs = List.filter (fun a -> a.akey = key) t.accesses in
+    accs <> [] && List.for_all (fun a -> a.aheld || a.afresh) accs
+  in
+  Hashtbl.fold
+    (fun key (lvl, site) acc ->
+      if rank lvl < rank Captured || site.sfile = "" then acc
+      else if
+        Lint_rules.helping_exempt_path site.sfile
+        || Callgraph.is_substrate_file t.cg site.sfile
+        || disciplined key
+      then acc
+      else
+        {
+          Lint_rules.file = site.sfile;
+          line = site.sline;
+          rule;
+          msg =
+            Printf.sprintf
+              "mutable location %s is %s (%s): every access must be \
+               synchronized — keep scaling state domain-local, make it \
+               atomic, or waive with the protecting discipline"
+              key (level_name lvl) site.swhy;
+        }
+        :: acc)
+    t.class_ []
+  |> List.sort compare

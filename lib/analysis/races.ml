@@ -1,0 +1,80 @@
+(** Static data-race analysis (rule [static-race]).
+
+    The enforcement half of {!Escape}: any plain — non-[Atomic],
+    non-release-shaped — read or write of a location the escape lattice
+    classifies [Captured] or above is a finding. The DPOR tier's race
+    oracle proves the same property dynamically on the schedules it
+    explores; this rule covers every textual access on every path the
+    {!Dataflow} pass can see, which is what lets the flat-array refactor
+    scale plain per-domain state without waiting for an unlucky
+    interleaving to show up in CI.
+
+    Exemptions, in the order they are checked:
+
+    - {e lock-held regions}: accesses where {!Dataflow}'s held counter
+      is positive — between a [Mutex.lock]/resolved-acquirer call and
+      its release — are protected by construction. The coarse-lock
+      baselines are additionally path-exempt, like every other rule.
+    - {e pre-publication}: accesses through a receiver still carrying a
+      [Fresh_rec] fact — initialization before the value is handed to
+      anyone — cannot race; freshness dies at the first call mentioning
+      the value, including the publish itself.
+    - {e single-writer downgrade}: locations written by at most one
+      function per the plain-write census (the {!Escape} mirror of
+      PR-7's [fwrites] summaries) keep their finding but prefixed
+      ["info (single-writer): "] — per-domain slot arrays joined before
+      read are the motivating benign shape, and the prefix writes the
+      waiver reason for you.
+
+    One finding per (file, key): the first unprotected access anchors
+    it, further accesses of the same key in the same file are the same
+    defect and the same fix — the finding names the function so the
+    defect is still addressable. Exempt paths and substrate files are
+    skipped as everywhere else in the AST engine. *)
+
+let rule = "static-race"
+
+let scan (esc : Escape.t) : Lint_rules.finding list =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun (a : Escape.access) ->
+      let lvl = Escape.level_of esc a.akey in
+      if
+        Escape.rank lvl < Escape.rank Escape.Captured
+        || a.aheld || a.afresh
+        || Lint_rules.helping_exempt_path a.afile
+        || Callgraph.is_substrate_file esc.cg a.afile
+        || Hashtbl.mem seen (a.afile, a.akey)
+      then None
+      else begin
+        Hashtbl.replace seen (a.afile, a.akey) ();
+        let where =
+          match Escape.seed_of esc a.akey with
+          | Some s when s.sfile <> "" ->
+              Printf.sprintf "%s, escapes at %s:%d" s.swhy s.sfile s.sline
+          | Some s -> s.swhy
+          | None -> "escape site unknown"
+        in
+        let prefix =
+          if Escape.single_writer esc a.akey then "info (single-writer): "
+          else ""
+        in
+        Some
+          {
+            Lint_rules.file = a.afile;
+            line = a.aline;
+            rule;
+            msg =
+              Printf.sprintf
+                "%splain %s of %s in %s, which is %s (%s): unsynchronized \
+                 cross-domain access — use Atomic, hold the protecting \
+                 lock, or keep it domain-local; further accesses of this \
+                 key in this file share this finding"
+                prefix
+                (if a.awrite then "write" else "read")
+                a.akey a.afn
+                (Escape.level_name lvl)
+                where;
+          }
+      end)
+    esc.accesses

@@ -442,6 +442,48 @@ let test_sibling_dedupe () =
   check_count "atomicity kept" 1
     (List.filter (fun f -> f.Lint_rules.rule = "atomicity") merged)
 
+(* The escape pairing: the token heuristic flags the mutable field
+   behind an Atomic.t at its declaration line; the escape analysis
+   anchors the published label at the same line and names the lattice
+   level — one defect, the AST finding wins. *)
+let test_sibling_dedupe_escape () =
+  let src =
+    "type slab = { mutable used : int; cap : int }\n\
+     type t = { cell : slab Atomic.t }\n\n\
+     let create () = Atomic.make { used = 0; cap = 8 }\n"
+  in
+  check_count "token mutable-atomic fires alone" 1
+    (List.filter
+       (fun f -> f.Lint_rules.rule = "mutable-atomic")
+       (scan "lib/core/x.ml" src));
+  let merged = Analysis.scan ~path:"lib/core/x.ml" src in
+  check_count "token sibling dropped from the merged scan" 0
+    (List.filter (fun f -> f.Lint_rules.rule = "mutable-atomic") merged);
+  check_count "the escape finding stands in its place" 1
+    (List.filter (fun f -> f.Lint_rules.rule = "escape") merged)
+
+(* Every sibling pairing must reference registered rules of the right
+   engine, and the registry itself must be duplicate-free — the table
+   is what [--list-rules], the README and CI all derive from. *)
+let test_rule_registry_consistent () =
+  List.iter
+    (fun (tok, asts) ->
+      Alcotest.(check bool)
+        (tok ^ " is a registered token rule")
+        true
+        (List.mem tok Analysis.token_rules);
+      List.iter
+        (fun a ->
+          Alcotest.(check bool)
+            (a ^ " is a registered AST rule")
+            true
+            (List.mem a Analysis.static_rules))
+        asts)
+    Analysis.sibling_rules;
+  let names = List.map (fun (n, _, _) -> n) Analysis.rule_table in
+  Alcotest.(check int) "registry names are unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
 (* ---- mound-lint/1 JSON -------------------------------------------------- *)
 
 (* The [repro lint --json] document, validated the way the bench
@@ -541,6 +583,10 @@ let () =
         [
           Alcotest.test_case "token/AST siblings deduped" `Quick
             test_sibling_dedupe;
+          Alcotest.test_case "mutable-atomic vs escape" `Quick
+            test_sibling_dedupe_escape;
+          Alcotest.test_case "rule registry consistent" `Quick
+            test_rule_registry_consistent;
         ] );
       ( "json",
         [
