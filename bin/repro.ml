@@ -4,7 +4,8 @@
     repro table1|table2|table3|table4      # sequential structure tables
     repro fig2 [--panel P] [--machine M] [--quick] [--extended]
     repro real [--panel P] [--threads N]   # wall-clock run on real domains
-    repro bench [--quick] [--out DIR]      # BENCH_<panel>.json artifacts
+    repro bench [--quick] [--dist D] [--out DIR]  # BENCH_<panel>.json artifacts
+    repro rank [--quick] [--out DIR]       # BENCH_rankerror.json (relaxed PQs)
     repro chaos [--seed S] [--full]        # crash-stop + fault-injection sweep
     repro dpor [PROGRAM] [--schedule S]    # DPOR model checking / replay
     repro progress [PROGRAM] [--quick]     # liveness certification / replay
@@ -198,7 +199,24 @@ let bench_panel_tag (panel : Harness.Workload.panel) =
   | Mixed -> "mixed"
   | Extract_many -> "extractmany"
 
-let run_bench panel threads trials warmup quick out =
+let dist_arg =
+  let parse s =
+    match Harness.Workload.dist_of_string s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown distribution %S" s))
+  in
+  let print ppf d =
+    Format.pp_print_string ppf (Harness.Workload.dist_name d)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Harness.Workload.Uniform
+    & info [ "dist" ] ~docv:"DIST"
+        ~doc:
+          "Insert-key distribution for the core panels: uniform (the \
+           paper's random keys) or zipf (hot keys near the mound roots).")
+
+let run_bench panel threads trials warmup quick dist out =
   let seed = 7L in
   let ops = if quick then 1 lsl 12 else 1 lsl 15 in
   let trials =
@@ -222,16 +240,26 @@ let run_bench panel threads trials warmup quick out =
         Harness.Fig2.init_size_for Harness.Fig2.quick_scale panel
       in
       let run tc maker =
-        Harness.Real_exp.run_series ~seed ~warmup ~trials ~panel
+        Harness.Real_exp.run_series ~seed ~warmup ~trials ~dist ~panel
           ~thread_counts:tc ~ops_per_thread:ops ~init_size maker
       in
       (* the sequential oracle is not thread-safe: 1-thread reference row *)
       let series =
         run [ 1 ] Harness.Pq.seq
         :: List.map (run thread_counts)
-             [ Harness.Pq.On_real.mound_lf; Harness.Pq.On_real.mound_lock ]
+             [
+               Harness.Pq.On_real.mound_lf;
+               Harness.Pq.On_real.mound_lock;
+               Harness.Pq.On_real.multiqueue ~domains:max_t ();
+             ]
       in
-      let tag = bench_panel_tag panel in
+      let tag =
+        bench_panel_tag panel
+        ^
+        match dist with
+        | Harness.Workload.Uniform -> ""
+        | Harness.Workload.Zipf -> "_zipf"
+      in
       let doc =
         Harness.Bench_json.of_panel ~panel:tag ~seed ~warmup
           ~measured_trials:trials ~ops_per_thread:ops ~init_size series
@@ -280,12 +308,14 @@ let out_arg =
 let bench_cmd =
   let doc =
     "Record wall-clock benchmark artifacts (BENCH_<panel>.json) for the \
-     seq/LF/lock mounds with a warmup + multi-trial protocol."
+     seq/LF/lock mounds and the relaxed MultiQueue front-end with a \
+     warmup + multi-trial protocol; --dist zipf skews the insert keys \
+     (artifacts get a _zipf suffix)."
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const run_bench $ panel_arg $ threads_arg $ trials_arg $ warmup_arg
-      $ quick_flag $ out_arg)
+      $ quick_flag $ dist_arg $ out_arg)
 
 (* ---------- overload / degradation artifacts ---------- *)
 
@@ -318,7 +348,11 @@ let run_overload scenario threads trials warmup quick out =
       in
       let series =
         List.map run
-          [ Harness.Pq.On_real.mound_lf; Harness.Pq.On_real.mound_lock ]
+          [
+            Harness.Pq.On_real.mound_lf;
+            Harness.Pq.On_real.mound_lock;
+            Harness.Pq.On_real.multiqueue ~domains:max_t ();
+          ]
       in
       let tag = "overload_" ^ Harness.Real_exp.scenario_name scenario in
       let doc =
@@ -372,13 +406,79 @@ let scenario_arg =
 let overload_cmd =
   let doc =
     "Record overload/degradation artifacts (BENCH_overload_<scenario>.json): \
-     the LF and lock mounds behind the bounded admission front-end under \
-     bursty, sustained over-capacity and Zipfian traffic."
+     the LF and lock mounds and the relaxed MultiQueue behind the bounded \
+     admission front-end under bursty, sustained over-capacity and Zipfian \
+     traffic."
   in
   Cmd.v (Cmd.info "overload" ~doc)
     Term.(
       const run_overload $ scenario_arg $ threads_arg $ trials_arg
       $ warmup_arg $ quick_flag $ out_arg)
+
+(* ---------- rank error: the price of relaxation ---------- *)
+
+let run_rank threads trials warmup quick out =
+  let seed = 7L in
+  (* Each trial drains threads * ops elements and replays the merged log
+     through the Fenwick oracle, so the budget is a notch below the
+     timing panels'. *)
+  let ops = if quick then 1 lsl 12 else 1 lsl 14 in
+  let trials =
+    match trials with Some n -> n | None -> if quick then 3 else 5
+  in
+  let warmup = Option.value warmup ~default:1 in
+  let max_t =
+    match threads with
+    | Some n -> n
+    | None -> max 2 (Domain.recommended_domain_count ())
+  in
+  let thread_counts = sweep_thread_counts ~quick ~max_t in
+  (* The exact LF mound doubles as calibration: its measured mean rank
+     error bounds the noise added by the timestamp approximation. *)
+  let results =
+    List.map
+      (fun maker ->
+        Harness.Rank_exp.run_rank_series ~seed ~warmup ~trials ~thread_counts
+          ~ops_per_thread:ops maker)
+      [
+        Harness.Pq.On_real.mound_lf;
+        Harness.Pq.On_real.multiqueue ~domains:max_t ();
+      ]
+  in
+  let doc =
+    Harness.Rank_exp.to_bench_json ~seed ~warmup ~trials ~ops_per_thread:ops
+      results
+  in
+  (match Harness.Bench_json.validate doc with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "BENCH_rankerror.json invalid: %s" e));
+  let path = Filename.concat out "BENCH_rankerror.json" in
+  Harness.Bench_json.write_file path (Harness.Bench_json.to_string doc);
+  Format.fprintf ppf "@.[rank] rankerror -> %s@." path;
+  Format.fprintf ppf "%-18s %7s %12s %12s %10s %10s %10s@." "structure"
+    "threads" "mean rank" "max rank" "extracted" "empty" "unmatched";
+  List.iter
+    (fun ((s : Harness.Rank_exp.series), _) ->
+      List.iter
+        (fun (c : Harness.Rank_exp.cell) ->
+          Format.fprintf ppf "%-18s %7d %12.3f %12d %10d %10d %10d@."
+            s.structure c.threads c.stats.mean_error c.stats.max_error
+            c.stats.extractions c.stats.empty_returns c.stats.unmatched)
+        s.cells)
+    results;
+  Format.pp_print_flush ppf ()
+
+let rank_cmd =
+  let doc =
+    "Measure the rank error of the relaxed MultiQueue against the exact \
+     LF-mound calibration baseline: concurrent timestamped drains \
+     replayed through a Fenwick-tree oracle, recorded as \
+     BENCH_rankerror.json (mound-bench/1 with a rank section)."
+  in
+  Cmd.v (Cmd.info "rank" ~doc)
+    Term.(
+      const run_rank $ threads_arg $ trials_arg $ warmup_arg $ quick_flag
+      $ out_arg)
 
 (* ---------- ablations & extensions ---------- *)
 
@@ -911,7 +1011,8 @@ let () =
        (Cmd.group info
           [
             table_cmd 1; table_cmd 2; table_cmd 3; table_cmd 4; fig2_cmd;
-            real_cmd; bench_cmd; overload_cmd; ablation_cmd; lin_cmd;
+            real_cmd; bench_cmd; overload_cmd; rank_cmd; ablation_cmd;
+            lin_cmd;
             chaos_cmd; dpor_cmd;
             progress_cmd; shape_cmd; lint_cmd; all_cmd;
           ]))

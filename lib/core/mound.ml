@@ -35,6 +35,12 @@ module Lock = Lock_mound
     sequential mound. *)
 module Keyed = Keyed
 
+(** Relaxed MultiQueue front-end: c·P try-locked sequential mounds with
+    two-choice randomized delete-min and sticky queue selection.
+    [extract_min] returns the minimum of a sampled queue — rank error is
+    measured, not bounded — while emptiness stays exact. *)
+module Multiqueue = Multiqueue
+
 (** Bounded admission front-end: capacity watermark + reject / shed /
     block overload policies over any of the variants. *)
 module Bounded = Bounded
@@ -54,6 +60,9 @@ module Lf_int = Lf_mound.Make (Runtime.Real) (Int_ord)
 (** Fine-grained-locking integer mound on real domains. *)
 module Lock_int = Lock_mound.Make (Runtime.Real) (Int_ord)
 
+(** Relaxed integer MultiQueue on real domains. *)
+module Multiqueue_int = Multiqueue.Make (Runtime.Real) (Int_ord)
+
 (* Compile-time conformance: every variant implements the documented
    {!Intf.MOUND} interface, so they cannot drift apart. *)
 module type MOUND = Intf.MOUND
@@ -61,3 +70,4 @@ module type MOUND = Intf.MOUND
 module Check_seq : MOUND with type elt = int = Seq_int
 module Check_lf : MOUND with type elt = int = Lf_int
 module Check_lock : MOUND with type elt = int = Lock_int
+module Check_multiqueue : MOUND with type elt = int = Multiqueue_int

@@ -13,7 +13,11 @@
     - {!Pq}: uniform handles over every priority-queue implementation;
     - {!Workload}: panel and key-order definitions;
     - {!Barrier}: start-line synchronization for real-domain runs;
-    - {!Lin}: Wing–Gong linearizability checking of recorded histories;
+    - {!Lin}: Wing–Gong linearizability checking of recorded histories,
+      exact or rank-relaxed;
+    - {!Rank_exp}: rank-error measurement for the relaxed MultiQueue —
+      timestamped concurrent drains replayed against an oracle
+      multiset, behind [repro rank];
     - {!Chaos_exp}: crash-stop sweeps under fault injection — the
       progress-guarantee evaluation behind [repro chaos];
     - {!Dpor_exp}: the fixed small programs model-checked by
@@ -37,6 +41,7 @@ module Tables = Tables
 module Fig2 = Fig2
 module Ablation = Ablation
 module Lin = Lin
+module Rank_exp = Rank_exp
 module Chaos_exp = Chaos_exp
 module Dpor_exp = Dpor_exp
 module Progress_exp = Progress_exp

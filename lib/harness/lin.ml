@@ -48,8 +48,17 @@ let recorder ?(now = Sim.Sched.now) (q : Pq.t) script =
 exception Too_large
 
 (** [check events] — is the history linearizable with respect to a
-    priority queue initially holding [init]? At most 62 events. *)
-let check ?(init = []) events =
+    priority queue initially holding [init]? At most 62 events.
+
+    [rank] (default 1) selects the specification's strictness: an
+    extraction may return any of the [rank] smallest elements of the
+    model at its linearization point. [rank = 1] is the exact
+    priority-queue spec; larger ranks are the relaxed spec satisfied by
+    the MultiQueue, whose [extract_min] pops a {e sampled} queue's
+    minimum. Emptiness is never relaxed — [Ext None] and [Ext_many []]
+    still require an empty model — and every returned element must
+    exist, so relaxation never excuses lost or duplicated elements. *)
+let check ?(init = []) ?(rank = 1) events =
   let events = Array.of_list events in
   let n = Array.length events in
   if n > 62 then raise Too_large;
@@ -77,6 +86,23 @@ let check ?(init = []) events =
     | [] | [ _ ] -> true
     | a :: (b :: _ as rest) -> a <= b && sorted rest
   in
+  (* Remove [v] from the (sorted) model if it sits among the first
+     [rank] elements. *)
+  let rec remove_within k v model =
+    match model with
+    | [] -> None
+    | x :: rest ->
+        if x = v then Some rest
+        else if k <= 1 then None
+        else (
+          match remove_within (k - 1) v rest with
+          | Some rest' -> Some (x :: rest')
+          | None -> None)
+  in
+  let rec within k v = function
+    | [] -> false
+    | x :: rest -> x = v || (k > 1 && within (k - 1) v rest)
+  in
   let apply model = function
     | Ins v -> Some (insert_sorted v model)
     | Ins_many b ->
@@ -84,15 +110,12 @@ let check ?(init = []) events =
            whole multiset lands at once *)
         Some (List.fold_left (fun m v -> insert_sorted v m) model b)
     | Ext None -> if model = [] then Some [] else None
-    | Ext (Some v) -> (
-        match model with m :: rest when m = v -> Some rest | _ -> None)
+    | Ext (Some v) -> remove_within rank v model
     | Ext_many [] -> if model = [] then Some [] else None
-    | Ext_many (hd :: _ as l) -> (
+    | Ext_many (hd :: _ as l) ->
         (* an extract-many takes one node's whole sorted list whose head
-           is the global minimum; the tail is NOT the k smallest *)
-        match model with
-        | m :: _ when m = hd && sorted l -> subtract model l
-        | _ -> None)
+           is the (rank-relaxed) minimum; the tail is NOT the k smallest *)
+        if sorted l && within rank hd model then subtract model l else None
   in
   let rec explore done_mask model =
     if done_mask = (1 lsl n) - 1 then true
@@ -123,3 +146,16 @@ let check ?(init = []) events =
     end
   in
   explore 0 (List.sort compare init)
+
+(** Smallest [rank] for which {!check} accepts the history, searched up
+    to [limit] — the relaxation a run {e actually} exhibited, recorded
+    rather than hoped for. [None] means even [rank = limit] does not
+    linearize: an element was lost, duplicated, invented, or emptiness
+    was misreported, which no rank relaxation excuses. *)
+let min_rank ?init ?(limit = 8) events =
+  let rec go k =
+    if k > limit then None
+    else if check ?init ~rank:k events then Some k
+    else go (k + 1)
+  in
+  go 1

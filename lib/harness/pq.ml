@@ -50,6 +50,7 @@ let degraded_until ~insert ~extract_min =
 module Of_runtime (R : Runtime.S) = struct
   module Lf = Mound.Lf.Make (R) (Mound.Int_ord)
   module Lock = Mound.Lock.Make (R) (Mound.Int_ord)
+  module Mq = Mound.Multiqueue.Make (R) (Mound.Int_ord)
   module Hunt = Baselines.Hunt_heap.Make (R) (Mound.Int_ord)
   module Sl = Baselines.Skiplist_pq.Make (R) (Mound.Int_ord)
   module Coarse = Baselines.Coarse_heap.Make (R) (Mound.Int_ord)
@@ -97,6 +98,33 @@ module Of_runtime (R : Runtime.S) = struct
             size = (fun () -> Lf.size q);
             check = (fun () -> Lf.check q);
             ops = (fun () -> Some (Lf.ops q));
+          });
+    }
+
+  (** Relaxed MultiQueue over [c·domains] try-locked sequential mounds
+      (two-choice delete-min, sticky queue selection). [domains] must be
+      the peak thread count the handle will see — the queue count is
+      fixed at creation. The name stays ["MultiQueue"] across
+      configurations so bench baselines compare across sweeps. *)
+  let multiqueue ?c ?stickiness ?queues ~domains () =
+    {
+      make =
+        (fun ~capacity:_ ->
+          let q = Mq.create ?c ?stickiness ?queues ~domains () in
+          {
+            name = "MultiQueue";
+            insert = Mq.insert q;
+            insert_many = (fun b -> Mq.insert_many q (List.sort compare b));
+            extract_min = (fun () -> Mq.extract_min q);
+            extract_many = (fun () -> Mq.extract_many q);
+            extract_approx = (fun () -> Mq.extract_approx q);
+            try_insert = Mq.try_insert q;
+            insert_until = (fun ~deadline v -> Mq.insert_until q ~deadline v);
+            extract_min_until =
+              (fun ~deadline -> Mq.extract_min_until q ~deadline);
+            size = (fun () -> Mq.size q);
+            check = (fun () -> Mq.check q);
+            ops = (fun () -> Some (Mq.ops q));
           });
     }
 

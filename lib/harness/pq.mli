@@ -49,6 +49,16 @@ val degraded_until :
 module Of_runtime (_ : Runtime.S) : sig
   val mound_lock : maker
   val mound_lf : maker
+
+  val multiqueue :
+    ?c:int -> ?stickiness:int -> ?queues:int -> domains:int -> unit -> maker
+  (** Relaxed MultiQueue over [c·domains] (default [c = 2], or exactly
+      [queues]) try-locked sequential mounds with two-choice delete-min
+      and sticky queue selection. [domains] should be the peak thread
+      count the handle will see — the queue count is fixed at creation.
+      The handle name stays ["MultiQueue"] across configurations so
+      bench baselines compare across sweeps. *)
+
   val hunt : maker
   val skiplist : maker
   val skiplist_lock : maker

@@ -106,10 +106,29 @@ let mcas_entry : entry =
     last_ops = (fun () -> None);
   }
 
+(* The relaxed MultiQueue front-end: two sequential mounds behind
+   try-locks. [stickiness] exceeds the scripts' operation counts, so
+   each thread draws its queue choices at most once and every retry
+   path (try-lock acquisition, the emptiness scan) rotates
+   deterministically — PRNG-free retries keep the demonic scheduler's
+   fingerprints revisitable, so certification stays conclusive (unlike
+   the STM heap's randomized backoff). Though lock-based, this program
+   certifies lock-free: the pinned ambient seed lands the two threads
+   on distinct sticky queues, so a suspended lock holder never owns the
+   survivor's queue and the try-lock failover always finds an unlocked
+   one — the progress property the MultiQueue design buys over a single
+   shared lock (contrast the locking mound's starvation cycle). The
+   claim is program-relative, not universal: two threads stuck to the
+   same queue would starve exactly like the locking mound. *)
+let multiqueue_entry =
+  standard ~name:"multiqueue"
+    (Pq.On_sim.multiqueue ~queues:2 ~stickiness:8 ~domains:2 ())
+
 let catalog : entry list =
   [
     standard ~name:"lf-mound" Pq.On_sim.mound_lf;
     standard ~name:"lock-mound" Pq.On_sim.mound_lock;
+    multiqueue_entry;
     mcas_entry;
   ]
 

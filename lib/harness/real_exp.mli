@@ -42,8 +42,13 @@ type cell = {
 
 type series = { structure : string; cells : cell list }
 
+val summarize : trial list -> summary
+(** Median / min / max / stddev of the trials' throughputs — exposed so
+    sibling drivers ({!Rank_exp}) build schema-compatible cells. *)
+
 val run_trial :
   ?seed:int64 ->
+  ?dist:Workload.dist ->
   panel:Workload.panel ->
   threads:int ->
   ops_per_thread:int ->
@@ -51,12 +56,14 @@ val run_trial :
   Pq.maker ->
   trial * Mound.Stats.Ops.t option
 (** One timed run against a fresh queue; the counters are captured at
-    quiescence after the run. *)
+    quiescence after the run. [dist] (default [Uniform]) shapes both the
+    pre-population keys and the in-run insert keys. *)
 
 val run_cell :
   ?seed:int64 ->
   ?warmup:int ->
   ?trials:int ->
+  ?dist:Workload.dist ->
   panel:Workload.panel ->
   threads:int ->
   ops_per_thread:int ->
@@ -64,12 +71,16 @@ val run_cell :
   Pq.maker ->
   cell
 (** [warmup] (default 1) discarded trials, then [trials] (default 3)
-    measured ones, each on a fresh queue with a distinct derived seed. *)
+    measured ones, each on a fresh queue with a distinct derived seed.
+    Cells at 1–2 threads run one extra warmup and twice the measured
+    trials: their short wall-clock spans make single-scheduler-blip
+    outliers dominate the median otherwise. *)
 
 val run_series :
   ?seed:int64 ->
   ?warmup:int ->
   ?trials:int ->
+  ?dist:Workload.dist ->
   panel:Workload.panel ->
   thread_counts:int list ->
   ops_per_thread:int ->
@@ -81,6 +92,7 @@ val run_panel :
   ?seed:int64 ->
   ?warmup:int ->
   ?trials:int ->
+  ?dist:Workload.dist ->
   panel:Workload.panel ->
   thread_counts:int list ->
   ops_per_thread:int ->

@@ -42,7 +42,15 @@ let tag (panel : Harness.Workload.panel) =
 (* 1-thread only: the seq oracle is not thread-safe and single-core CI
    makes multi-thread wall clock meaningless anyway *)
 let structures =
-  [ Harness.Pq.seq; Harness.Pq.On_real.mound_lf; Harness.Pq.On_real.mound_lock ]
+  [
+    Harness.Pq.seq;
+    Harness.Pq.On_real.mound_lf;
+    Harness.Pq.On_real.mound_lock;
+    (* domains:2 matches the committed baselines' recording sweep (the
+       CLI floors max_t at 2), so the queue count — and hence the name
+       "MultiQueue"'s meaning — is the same on both sides of the guard *)
+    Harness.Pq.On_real.multiqueue ~domains:2 ();
+  ]
 
 let bench_doc ?(warmup = warmup) ?(trials = trials) panel =
   let init_size = Harness.Fig2.init_size_for Harness.Fig2.quick_scale panel in
@@ -213,7 +221,11 @@ let overload_scenarios : Harness.Real_exp.overload_scenario list =
 let overload_capacity = max 64 (ops / 16)
 
 let overload_structures =
-  [ Harness.Pq.On_real.mound_lf; Harness.Pq.On_real.mound_lock ]
+  [
+    Harness.Pq.On_real.mound_lf;
+    Harness.Pq.On_real.mound_lock;
+    Harness.Pq.On_real.multiqueue ~domains:2 ();
+  ]
 
 let overload_doc ~warmup ~trials scenario =
   let series =

@@ -126,7 +126,9 @@ let real_cell_smoke () =
     Harness.Real_exp.run_cell ~warmup:1 ~trials:3 ~panel:Mixed ~threads:2
       ~ops_per_thread:500 ~init_size:100 Harness.Pq.On_real.mound_lock
   in
-  check_int "measured trials" 3 (List.length c.trials);
+  (* 1–2-thread cells double their measured trials (the low-thread
+     noise boost): 3 requested -> 6 recorded *)
+  check_int "measured trials" 6 (List.length c.trials);
   List.iter
     (fun (t : Harness.Real_exp.trial) ->
       check_int "ops counted" 1000 t.ops;

@@ -55,6 +55,17 @@ let test_lock_mound_starves () =
       Alcotest.(check bool) "cycle replays" true
         (Liveness.check_cycle ~config (entry "lock-mound") c)
 
+let test_multiqueue_failover_lock_free () =
+  (* Lock-based, yet this program certifies lock-free: the threads'
+     sticky draws land on distinct queues, so a suspended lock holder
+     never owns a survivor's queue and the try-lock failover always
+     finds an unlocked one — the progress property the relaxed
+     front-end buys over a single shared lock. *)
+  let r = certify (entry "multiqueue") in
+  Alcotest.(check int) "inconclusive" 0 r.Liveness.inconclusive;
+  Alcotest.(check bool) "lock-free" true r.Liveness.lock_free;
+  Alcotest.(check bool) "deadlock-free" true r.Liveness.deadlock_free
+
 (* ---- the mutants ------------------------------------------------------- *)
 
 let test_no_help_mutant_cycles () =
@@ -109,6 +120,8 @@ let () =
           Alcotest.test_case "mcas is lock-free" `Quick test_mcas_lock_free;
           Alcotest.test_case "lock-mound starves but does not deadlock"
             `Quick test_lock_mound_starves;
+          Alcotest.test_case "multiqueue failover certifies lock-free"
+            `Quick test_multiqueue_failover_lock_free;
         ] );
       ( "mutants",
         [
