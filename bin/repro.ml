@@ -948,16 +948,30 @@ let run_lint list_rules rule json roots =
   end;
   if findings <> [] then exit 1
 
+(* A strict name conv: an unknown rule is a clear error pointing at the
+   registry listing, never a silent no-match filter. *)
+let rule_conv =
+  let parse s =
+    if List.exists (fun (n, _, _) -> n = s) Analysis.rule_table then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown rule %S; run 'repro lint --list-rules' for the \
+               registered set"
+              s))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let lint_cmd =
   let rule_arg =
-    let all = Analysis.static_rules @ Analysis.token_rules in
     Arg.(
       value
-      & opt (some (enum (List.map (fun r -> (r, r)) all))) None
+      & opt (some rule_conv) None
       & info [ "rule" ] ~docv:"RULE"
           ~doc:
-            (Printf.sprintf "Report only findings of $(docv) (one of %s)."
-               (String.concat ", " all)))
+            "Report only findings of $(docv) (see --list-rules for the \
+             registered set).")
   in
   let json_arg =
     Arg.(
@@ -987,6 +1001,166 @@ let lint_cmd =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const run_lint $ list_rules_arg $ rule_arg $ json_arg $ roots_arg)
 
+(* ---------- mutate: mutation engine + kill matrix ---------- *)
+
+let run_list_ops () =
+  List.iter
+    (fun (o : Analysis.Mutate.op) ->
+      Printf.printf "%s\t%s\t%s\t%s\n" o.op_name
+        (String.concat "," o.op_rules)
+        (Option.value o.op_twin ~default:"-")
+        o.op_descr)
+    Analysis.Mutate.catalog
+
+(* The scan context: everything the core protocols link against, so
+   cross-module effects (Backoff.Make reaching cpu_relax, the Mcas
+   substrate cut) resolve exactly as in the shipped-tree lint. Mutation
+   targets are the core implementation files only. *)
+let mutation_context_roots = [ "lib/core"; "lib/mcas"; "lib/runtime" ]
+
+let read_context () =
+  List.concat_map Lint_rules.files_under mutation_context_roots
+  |> List.sort compare
+  |> List.map (fun p -> (p, Analysis.read_file p))
+
+let mutation_targets ~file context =
+  List.filter
+    (fun (p, _) ->
+      String.length p >= 9
+      && String.sub p 0 9 = "lib/core/"
+      && Filename.check_suffix p ".ml"
+      && match file with
+         | None -> true
+         | Some f -> p = f || Filename.basename p = f)
+    context
+
+let run_mutate list_ops op file json out =
+  if list_ops then (run_list_ops (); exit 0);
+  let context = read_context () in
+  let targets = mutation_targets ~file context in
+  if targets = [] then
+    failwith
+      (match file with
+      | Some f -> Printf.sprintf "no mutation target named %S under lib/core" f
+      | None -> "no mutation targets found; run from the repository root");
+  let ops =
+    match op with None -> Analysis.Mutate.op_names | Some o -> [ o ]
+  in
+  let mutants = Analysis.Mutate.mutants ~ops targets in
+  let matrix =
+    try Analysis.killmatrix ~context mutants
+    with Analysis.Killmatrix.Dirty_context fs ->
+      List.iter
+        (fun f -> Format.fprintf ppf "%a@." Analysis.pp_finding f)
+        fs;
+      Format.pp_print_flush ppf ();
+      failwith "pristine tree not clean; fix the findings above first"
+  in
+  let escalations = Harness.Mutation_exp.escalate matrix in
+  let doc = Harness.Mutation_json.doc matrix escalations in
+  (match Harness.Mutation_json.validate doc with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "mound-mutation document invalid: %s" e));
+  (match out with
+  | Some path ->
+      Harness.Bench_json.write_file path (Harness.Bench_json.to_string doc);
+      Format.fprintf ppf "[mutate] matrix -> %s@." path
+  | None -> ());
+  if json then begin
+    print_string (Harness.Bench_json.to_string doc);
+    print_newline ()
+  end
+  else begin
+    Format.fprintf ppf "%-40s %-12s %s@." "mutant" "status" "killed by";
+    List.iter
+      (fun (e : Harness.Mutation_exp.escalation) ->
+        Format.fprintf ppf "%-40s %-12s %s@." e.e_id e.e_status e.e_detail)
+      escalations;
+    let killed = List.length (Analysis.Killmatrix.killed matrix) in
+    let total = List.length matrix.k_rows in
+    Format.fprintf ppf "@.kill rate: %d/%d (%.1f%%)@." killed total
+      (if total = 0 then 0. else 100. *. float_of_int killed /. float_of_int total);
+    Format.fprintf ppf "rule kills:@.";
+    List.iter
+      (fun (rule, n) -> Format.fprintf ppf "  %-22s %d@." rule n)
+      (Analysis.Killmatrix.rule_kills matrix);
+    let gaps =
+      List.filter (fun (e : Harness.Mutation_exp.escalation) ->
+          e.e_status = "gap")
+        escalations
+    in
+    if gaps <> [] then begin
+      Format.fprintf ppf "@.%d soundness gap(s):@." (List.length gaps);
+      List.iter
+        (fun (e : Harness.Mutation_exp.escalation) ->
+          Format.fprintf ppf "  %s@." e.e_id)
+        gaps
+    end;
+    Format.pp_print_flush ppf ()
+  end
+
+let mutate_cmd =
+  let op_conv =
+    let parse s =
+      if List.mem s Analysis.Mutate.op_names then Ok s
+      else
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown operator %S; run 'repro mutate --list-ops' for the \
+                 catalog"
+                s))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let op_arg =
+    Arg.(
+      value
+      & opt (some op_conv) None
+      & info [ "op" ] ~docv:"OP"
+          ~doc:
+            "Apply only the named operator (see --list-ops for the catalog).")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Mutate only the named lib/core file (basename, e.g. \
+                lf_mound.ml).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit machine-readable JSON (schema mound-mutation/1).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:"Also write the validated matrix artifact to $(docv).")
+  in
+  let list_ops_arg =
+    Arg.(
+      value & flag
+      & info [ "list-ops" ]
+          ~doc:
+            "Print the operator catalog (one operator per line: name, \
+             target rules, dynamic twin, description, tab-separated) and \
+             exit.")
+  in
+  let doc =
+    "Generate Parsetree mutants of the lib/core concurrency protocols, \
+     run each through the full static rule union, escalate survivors to \
+     the canned dynamic twins, and report the mutant × rule kill matrix \
+     (schema mound-mutation/1)."
+  in
+  Cmd.v (Cmd.info "mutate" ~doc)
+    Term.(
+      const run_mutate $ list_ops_arg $ op_arg $ file_arg $ json_arg $ out_arg)
+
 (* ---------- everything ---------- *)
 
 let run_all quick =
@@ -1014,5 +1188,5 @@ let () =
             real_cmd; bench_cmd; overload_cmd; rank_cmd; ablation_cmd;
             lin_cmd;
             chaos_cmd; dpor_cmd;
-            progress_cmd; shape_cmd; lint_cmd; all_cmd;
+            progress_cmd; shape_cmd; lint_cmd; mutate_cmd; all_cmd;
           ]))

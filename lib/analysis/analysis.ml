@@ -21,6 +21,8 @@
 module Summary = Summary
 module Callgraph = Callgraph
 module Frontend = Frontend
+module Mutate = Mutate
+module Killmatrix = Killmatrix
 
 type finding = Lint_rules.finding = {
   file : string;
@@ -150,7 +152,8 @@ let dedupe_tokens ~(extra : finding list) (raw : Lint_rules.raw) :
         raw.Lint_rules.raw_base;
   }
 
-let scan_files (files : (string * string) list) : finding list =
+let scan_files ?(merge_siblings = true) (files : (string * string) list) :
+    finding list =
   let statics = static_findings files in
   List.concat_map
     (fun (path, src) ->
@@ -158,7 +161,7 @@ let scan_files (files : (string * string) list) : finding list =
       let extra =
         Hashtbl.find_opt statics path |> Option.value ~default:[]
       in
-      let raw = dedupe_tokens ~extra raw in
+      let raw = if merge_siblings then dedupe_tokens ~extra raw else raw in
       Lint_rules.apply_waivers ~path raw ~extra)
     files
 
@@ -184,6 +187,17 @@ let scan_trees roots : finding list =
   scan_files files
 
 let scan_tree root = scan_trees [ root ]
+
+(** Mutant × rule kill matrix of [mutants] over the pristine [context]
+    file set — the composition {!Killmatrix} itself cannot perform from
+    below the library's main module. The matrix scans {e without}
+    sibling merging: the merge is presentation-level (one defect, one
+    finding for the human reader), while the matrix asks which rules
+    {e detect} a mutant — a token rule deduped into its AST sibling at
+    the same line still fired, and its kill is credited. Waivers apply
+    as in the merged scan. *)
+let killmatrix ~context mutants =
+  Killmatrix.run ~scan:(scan_files ~merge_siblings:false) ~context mutants
 
 (** AST engine only — the rule author's fast inner loop ([@analysis]
     alias, [lint.exe --ast-only]). Findings are still waiver-filtered

@@ -28,7 +28,11 @@
     - {!Watchdog}: wall-clock join watchdog turning a wedged real-domain
       test into a loud fast failure instead of a CI hang;
     - {!Lint_json}: the mound-lint/1 emitter/validator behind
-      [repro lint --json]. *)
+      [repro lint --json];
+    - {!Mutation_exp}: dynamic escalation twins for kill-matrix
+      survivors — behind [repro mutate] and the mutation test tier;
+    - {!Mutation_json}: the mound-mutation/1 emitter/validator behind
+      [repro mutate --json]. *)
 
 module Barrier = Barrier
 module Pq = Pq
@@ -46,3 +50,5 @@ module Chaos_exp = Chaos_exp
 module Dpor_exp = Dpor_exp
 module Progress_exp = Progress_exp
 module Watchdog = Watchdog
+module Mutation_exp = Mutation_exp
+module Mutation_json = Mutation_json

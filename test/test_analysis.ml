@@ -147,6 +147,73 @@ let test_post_publish_mutation () =
   check_count "mutating a local fresh record fine" 0
     (with_rule "post-publish-mutation" (scan "lib/core/x.ml" local))
 
+(* ---- the MultiQueue idioms --------------------------------------------- *)
+
+(* The relaxed front-end's two protocol disciplines, distilled the way
+   [lock_prims] distills the locking mound's. The shipped multiqueue.ml
+   itself is covered by the clean-tree assertion below (its disciplines
+   hold, so both engines stay silent over it); these fixtures pin that
+   the rules would actually fire if either discipline broke.
+
+   Sticky locking uses a bare [bool R.Atomic.t] word — the CAS(false,
+   true) acquire shape, a different summary-detection path from the
+   locking mound's record-literal [locked = true] stores. *)
+let mq_lock_prims =
+  "let lock_cell l =\n\
+  \  let rec spin () =\n\
+  \    if not (R.Atomic.compare_and_set l false true) then begin\n\
+  \      R.cpu_relax ();\n\
+  \      spin ()\n\
+  \    end\n\
+  \  in\n\
+  \  spin ()\n\n\
+   let unlock_cell l = R.Atomic.set l false\n\n"
+
+let test_multiqueue_sticky_lock () =
+  let leaky =
+    mq_lock_prims
+    ^ "let extract_if_lucky l q =\n\
+      \  lock_cell l;\n\
+      \  if happy q then begin\n\
+      \    let v = pop q in\n\
+      \    unlock_cell l;\n\
+      \    v\n\
+      \  end\n\
+      \  else None\n"
+  in
+  check_count "unhappy path leaks the cell lock" 1
+    (with_rule "lock-leak" (scan "lib/core/x.ml" leaky));
+  let balanced =
+    mq_lock_prims
+    ^ "let extract_always l q =\n\
+      \  lock_cell l;\n\
+      \  let v = if happy q then pop q else None in\n\
+      \  unlock_cell l;\n\
+      \  v\n"
+  in
+  check_count "release on every path fine" 0
+    (with_rule "lock-leak" (scan "lib/core/x.ml" balanced))
+
+(* The cached-top word: a peeker must never CAS back the very value it
+   read (the cache stops tracking the backing queue the moment the CAS
+   succeeds over a concurrent extract); the unlock path publishes a
+   freshly recomputed head instead. *)
+let test_multiqueue_top_cache () =
+  let republish =
+    "let refresh_top cell =\n\
+    \  let cached = R.Atomic.get cell in\n\
+    \  ignore (R.Atomic.compare_and_set cell cached cached)\n"
+  in
+  check_count "republishing the cached top flagged" 1
+    (with_rule "stale-publish" (scan "lib/core/x.ml" republish));
+  let recompute =
+    "let refresh_top cell q =\n\
+    \  let cached = R.Atomic.get cell in\n\
+    \  ignore (R.Atomic.compare_and_set cell cached (head q))\n"
+  in
+  check_count "publishing a recomputed head fine" 0
+    (with_rule "stale-publish" (scan "lib/core/x.ml" recompute))
+
 (* ---- helping discipline v2 --------------------------------------------- *)
 
 let test_static_retry () =
@@ -947,6 +1014,13 @@ let () =
           Alcotest.test_case "stale publish" `Quick test_stale_publish;
           Alcotest.test_case "post-publish mutation" `Quick
             test_post_publish_mutation;
+        ] );
+      ( "multiqueue-idioms",
+        [
+          Alcotest.test_case "sticky-lock discipline" `Quick
+            test_multiqueue_sticky_lock;
+          Alcotest.test_case "cached-top publish" `Quick
+            test_multiqueue_top_cache;
         ] );
       ( "helping-v2",
         [
